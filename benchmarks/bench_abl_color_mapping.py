@@ -1,0 +1,24 @@
+"""Ablation: the thread-color mapping extension.
+
+Section 5.4 observes XOR is less effective under SMT because row
+conflicts come from multiple threads, and calls for mappings that
+take this into account.  The color-xor extension folds thread-color
+address bits into the bank permutation; this ablation compares its
+row-buffer miss rates against page and xor.
+"""
+
+from conftest import run_and_render
+from repro.experiments.ablations import color_mapping_ablation
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_abl_color_mapping(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, color_mapping_ablation, config=bench_config,
+        runner=bench_runner,
+    )
+    for row in result.rows:
+        assert 0.0 <= _pct(row[3]) <= 100.0

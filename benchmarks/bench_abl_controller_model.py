@@ -1,0 +1,34 @@
+"""Ablation: request-level vs command-level DRAM controller.
+
+The request-level model (default) is calibrated and fast; the
+command-level model tracks explicit PRECHARGE/ACTIVATE/READ/WRITE
+commands with tRAS/tRRD/command-bus constraints.  This ablation
+verifies the two models agree on the experiment-level outcomes
+(weighted speedup, row-buffer behaviour) within a modest band.
+"""
+
+from repro.workloads.mixes import get_mix
+
+
+def test_abl_controller_model(benchmark, bench_config, bench_runner):
+    mix = get_mix("2-MEM")
+
+    def compare():
+        out = {}
+        for model in ("request", "command"):
+            cfg = bench_config.with_(controller_model=model)
+            result = bench_runner.run_mix(cfg, mix)
+            out[model] = (
+                bench_runner.weighted_speedup(cfg, mix, result),
+                result.row_buffer_miss_rate,
+                result.dram.avg_read_latency,
+            )
+        return out
+
+    out = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print()
+    for model, (ws, miss, lat) in out.items():
+        print(f"{model:<8} WS={ws:.3f} row-miss={miss:.1%} "
+              f"avg-read-lat={lat:.0f}cy")
+    ws_request, ws_command = out["request"][0], out["command"][0]
+    assert ws_command == __import__("pytest").approx(ws_request, rel=0.35)

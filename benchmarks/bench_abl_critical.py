@@ -1,0 +1,18 @@
+"""Ablation: criticality-based scheduling (Section 3.1's fourth policy).
+
+The paper lists criticality-based scheduling among the known
+single-thread policies but does not evaluate it; this ablation runs
+the ROB-occupancy approximation implemented as an extension next to
+FCFS, hit-first and the request-based scheme.
+"""
+
+from conftest import run_and_render
+from repro.experiments.ablations import critical_scheduler_ablation
+
+
+def test_abl_critical_scheduler(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, critical_scheduler_ablation, config=bench_config,
+        runner=bench_runner, mixes=("4-MEM",),
+    )
+    assert result.rows[0][1] == 1.0  # fcfs normalized to itself

@@ -1,0 +1,22 @@
+"""Section 5.1 statistic: integer-issue coverage by fetch policy.
+
+The paper explains ICOUNT's collapse on 8-MIX with this number: the
+processor can issue >= 1 integer instruction during 92.2% of cycles
+under DWarn but only 43.8% under ICOUNT.  Expected shape here: DWarn
+coverage exceeds ICOUNT coverage on the 8-thread mixed workload.
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import issue_coverage
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_abl_issue_coverage(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, issue_coverage, config=bench_config, runner=bench_runner
+    )
+    rows = {row[0]: row for row in result.rows}
+    assert _pct(rows["8-MIX"][2]) >= _pct(rows["8-MIX"][1])

@@ -1,0 +1,21 @@
+"""Ablation: MSHR capacity sensitivity.
+
+The MSHR file bounds the memory-level parallelism an SMT core can
+expose; DESIGN.md documents the default of 32 (Table 1 lists 16 per
+cache across several caches).  Expected: MEM-mix *throughput* rises
+with MSHR capacity and saturates.  (Throughput, not weighted speedup:
+the WS baselines would shift with the capacity under study.)
+"""
+
+from conftest import run_and_render
+from repro.experiments.ablations import mshr_ablation
+
+
+def test_abl_mshr_capacity(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, mshr_ablation, config=bench_config, runner=bench_runner,
+        mixes=("4-MEM",),
+    )
+    row = result.rows[0]
+    # Severely capped MLP must cost throughput vs the default.
+    assert row[1] < max(row[3], row[4])

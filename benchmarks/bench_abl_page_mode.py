@@ -1,0 +1,19 @@
+"""Ablation: open vs close page mode (paper Section 2).
+
+Not a paper figure, but a design choice DESIGN.md calls out: the open
+page mode bets on row-buffer locality, the close page mode removes
+the precharge from the conflict path.  With the MEM mixes' high
+conflict rates, close page can be competitive -- the printout shows
+where each wins.
+"""
+
+from conftest import run_and_render
+from repro.experiments.ablations import page_mode_ablation
+
+
+def test_abl_page_mode(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, page_mode_ablation, config=bench_config,
+        runner=bench_runner,
+    )
+    assert all(row[1] > 0 and row[2] > 0 for row in result.rows)

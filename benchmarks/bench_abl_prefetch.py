@@ -1,0 +1,18 @@
+"""Ablation: the Table 1 stride prefetcher.
+
+Table 1 lists 4 prefetch MSHR entries per cache; the reproduction's
+stride prefetcher is off by default (profiles calibrated without it).
+Expected: streaming-heavy mixes gain throughput; pointer-chasing
+traffic is unaffected (no stable stride to learn).
+"""
+
+from conftest import run_and_render
+from repro.experiments.ablations import prefetch_ablation
+
+
+def test_abl_prefetch(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, prefetch_ablation, config=bench_config,
+        runner=bench_runner,
+    )
+    assert len(result.rows) == 2

@@ -1,0 +1,17 @@
+"""Ablation: scheduler x mapping interaction.
+
+The hit-first scheduler exploits the locality the XOR mapping
+preserves; this ablation checks how the two compose (paper Sections
+5.4/5.5 treat them separately).
+"""
+
+from conftest import run_and_render
+from repro.experiments.ablations import scheduler_mapping_ablation
+
+
+def test_abl_scheduler_mapping(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, scheduler_mapping_ablation, config=bench_config,
+        runner=bench_runner, mixes=("4-MEM",),
+    )
+    assert len(result.rows[0]) == 5  # mix + 4 combinations

@@ -1,0 +1,18 @@
+"""Ablation: OS page-allocation policies (Section 5.4 direction).
+
+The paper's simulation uses bin hopping; its Section 5.4 suggests
+page coloring to reduce row-buffer conflicts between threads.  This
+ablation compares no-translation, bin hopping, page coloring, and
+random allocation on a MEM mix.
+"""
+
+from conftest import run_and_render
+from repro.experiments.ablations import vm_policy_ablation
+
+
+def test_abl_vm_policy(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, vm_policy_ablation, config=bench_config,
+        runner=bench_runner,
+    )
+    assert len(result.rows[0]) == 5

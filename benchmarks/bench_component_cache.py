@@ -1,0 +1,15 @@
+"""Component throughput: cache accesses per second."""
+
+from repro.cache.cache import SetAssocCache
+
+
+def test_component_cache_throughput(benchmark):
+    cache = SetAssocCache("bench", 512 * 1024, 2, 64)
+
+    def hammer():
+        for i in range(20_000):
+            cache.access((i * 97) % 16384)
+        return cache.stats.total
+
+    total = benchmark(hammer)
+    assert total >= 20_000

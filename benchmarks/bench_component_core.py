@@ -1,0 +1,22 @@
+"""Component throughput: full-system simulated cycles per second.
+
+Runs the complete stack (SMT core + caches + DRAM) on the 2-MIX
+workload and reports simulation speed; the benchmark value tracks the
+end-to-end cost of one simulated run.
+"""
+
+from repro.experiments.runner import run_mix
+from repro.workloads.mixes import get_mix
+
+
+def test_component_full_system(benchmark, bench_config):
+    config = bench_config.with_(instructions_per_thread=1500,
+                                warmup_instructions=300)
+
+    def simulate():
+        return run_mix(config, get_mix("2-MIX").apps)
+
+    result = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    print(f"\nsimulated {result.core.cycles} cycles, "
+          f"throughput {result.throughput:.3f} IPC")
+    assert result.core.cycles > 0

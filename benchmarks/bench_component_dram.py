@@ -1,0 +1,30 @@
+"""Component throughput: raw DRAM-model request rate.
+
+Measures simulator performance (requests simulated per second), not
+modelled bandwidth.  Useful to track the cost of the event-driven
+controller when optimizing.
+"""
+
+from repro.common.events import EventQueue
+from repro.dram.system import MemorySystem
+
+
+def test_component_dram_throughput(benchmark):
+    def serve_10k():
+        evq = EventQueue()
+        system = MemorySystem.ddr(evq, channels=2, scheduler="hit-first")
+        outstanding = [0]
+
+        def feeder(line=[0]):
+            if line[0] >= 10_000:
+                return
+            line[0] += 1
+            system.read(line[0] * 7, line[0] % 4, callback=lambda t, r: feeder())
+
+        for _ in range(16):
+            feeder()
+        evq.run_all()
+        return system.stats.reads
+
+    reads = benchmark(serve_10k)
+    assert reads >= 10_000

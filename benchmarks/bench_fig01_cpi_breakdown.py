@@ -1,0 +1,24 @@
+"""Figure 1: CPI breakdown of the 26 SPEC2000 applications.
+
+Regenerates the paper's Figure 1: each application runs
+single-threaded on the real system and on systems with perfect
+L3/L2/L1 caches; the CPI differences attribute time to the processor,
+L2, L3, and main memory.  Expected shape: the MEM applications
+(facerec ... mcf) dominate the right of the figure, with mcf's CPI_mem
+the largest by a wide margin.
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import figure1
+
+
+def test_fig01_cpi_breakdown(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, figure1, config=bench_config, runner=bench_runner
+    )
+    by_app = {row[0]: row for row in result.rows}
+    # Paper shape: mcf is the most memory-bound application.
+    assert result.rows[-1][0] == "mcf"
+    # MEM apps have larger CPI_mem than ILP apps.
+    assert by_app["swim"][4] > by_app["gzip"][4]
+    assert by_app["ammp"][4] > by_app["eon"][4]

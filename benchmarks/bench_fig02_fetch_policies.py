@@ -1,0 +1,22 @@
+"""Figure 2: weighted speedup of four fetch policies.
+
+Regenerates the paper's Figure 2 on the 2-channel DDR system.
+Expected shape: the four policies are comparable on ILP mixes, while
+the long-latency-aware policies (Fetch-Stall, DG, DWarn) clearly beat
+ICOUNT on the memory-heavy 8-thread mixes.
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import figure2
+
+
+def test_fig02_fetch_policies(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, figure2, config=bench_config, runner=bench_runner
+    )
+    rows = {row[0]: row for row in result.rows}
+    policies = result.headers[1:]
+    icount = policies.index("icount") + 1
+    dg = policies.index("dg") + 1
+    # Paper shape: clog-avoiding policies beat ICOUNT on 8-MIX.
+    assert rows["8-MIX"][dg] > rows["8-MIX"][icount]

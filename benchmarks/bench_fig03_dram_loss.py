@@ -1,0 +1,26 @@
+"""Figure 3: performance loss due to DRAM accesses.
+
+Weighted speedup on the real 2-channel system as a percentage of the
+infinite-L3 (ICOUNT) reference.  Expected shape: ILP mixes lose almost
+nothing; MEM mixes lose most of their performance; the DWarn policy
+recovers more than ICOUNT on the 8-thread mixes.
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import figure3
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_fig03_dram_loss(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, figure3, config=bench_config, runner=bench_runner
+    )
+    rows = {row[0]: row for row in result.rows}
+    # ILP mixes retain most of the reference performance...
+    assert _pct(rows["2-ILP"][2]) > 80.0
+    # ...while MEM mixes lose most of it (paper: 2-MEM retains ~27%).
+    assert _pct(rows["2-MEM"][2]) < 70.0
+    assert _pct(rows["4-MEM"][2]) < 70.0

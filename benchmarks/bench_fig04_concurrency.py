@@ -1,0 +1,28 @@
+"""Figure 4: outstanding memory requests while the DRAM system is busy.
+
+Time-weighted distribution of the number of outstanding requests.
+Expected shape (paper): MEM workloads concentrate at 8+ outstanding
+requests (95.3% above 8 for 4-MEM); ILP workloads sit at 1-2; the
+probability of large request groups grows with the thread count.
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import figure4
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_fig04_concurrency(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, figure4, config=bench_config, runner=bench_runner
+    )
+    rows = {row[0]: row for row in result.rows}
+    labels = result.headers[1:]
+    hi = [labels.index("8-15") + 1, labels.index("16+") + 1]
+    heavy = lambda row: sum(_pct(row[i]) for i in hi)
+    # MEM mixes live at >=8 outstanding far more than ILP mixes.
+    assert heavy(rows["4-MEM"]) > heavy(rows["4-ILP"]) + 20.0
+    # Heavy concurrency grows with thread count for MEM mixes.
+    assert heavy(rows["8-MEM"]) >= heavy(rows["2-MEM"])

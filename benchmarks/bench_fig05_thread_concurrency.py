@@ -1,0 +1,23 @@
+"""Figure 5: how many threads contribute concurrent requests.
+
+Expected shape (paper): for ILP mixes, concurrent requests usually
+come from a single thread; for MEM mixes they come from (almost) all
+threads (76.4%/79.0% from all threads for 2-/4-MEM).
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import figure5
+
+
+def _pct(cell: str) -> float:
+    return 0.0 if cell == "-" else float(cell.rstrip("%"))
+
+
+def test_fig05_thread_concurrency(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, figure5, config=bench_config, runner=bench_runner
+    )
+    rows = {row[0]: row for row in result.rows}
+    # For 4-MEM, most multi-request time involves >= 3 threads.
+    many = _pct(rows["4-MEM"][3]) + _pct(rows["4-MEM"][4])
+    assert many > 50.0

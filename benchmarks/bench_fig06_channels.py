@@ -1,0 +1,24 @@
+"""Figure 6: performance as the number of memory channels grows.
+
+Weighted speedup with 2/4/8 independent DDR channels, normalized to
+the 2-channel system.  Expected shape (paper): MEM mixes gain hugely
+from quadrupling channels (73.7%-153.8%); MIX mixes gain modestly;
+ILP mixes are insensitive.
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import figure6
+
+
+def test_fig06_channels(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, figure6, config=bench_config, runner=bench_runner
+    )
+    rows = {row[0]: row for row in result.rows}
+    # MEM mixes gain substantially from 2 -> 8 channels...
+    assert rows["4-MEM"][3] > 1.25
+    assert rows["8-MEM"][3] > 1.25
+    # ...ILP mixes do not.
+    assert rows["2-ILP"][3] < 1.15
+    # Channel scaling helps MEM more than ILP.
+    assert rows["4-MEM"][3] > rows["4-ILP"][3]

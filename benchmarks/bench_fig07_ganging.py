@@ -1,0 +1,24 @@
+"""Figure 7: clustering physical channels into logical ones.
+
+Weighted speedup of every xC-yG organization relative to the
+independent (xC-1G) organization with the same channel count.
+Expected shape (paper): ganging loses performance on memory-bound
+mixes -- e.g. 2C-2G loses ~34% on 2-MEM and 8C-4G reaches only ~53%
+of 8C-1G for 4-MEM.  Independent channels win throughout.
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import figure7
+
+
+def test_fig07_ganging(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, figure7, config=bench_config, runner=bench_runner
+    )
+    labels = result.headers[1:]
+    rows = {row[0]: row for row in result.rows}
+    col = {label: i + 1 for i, label in enumerate(labels)}
+    # Ganging both channels of a 2-channel system hurts MEM mixes.
+    assert rows["2-MEM"][col["2C-2G"]] < 1.0
+    # Fully ganged 8-channel system clearly trails independent.
+    assert rows["4-MEM"][col["8C-4G"]] < rows["4-MEM"][col["8C-1G"]]

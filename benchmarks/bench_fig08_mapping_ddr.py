@@ -1,0 +1,25 @@
+"""Figure 8: row-buffer miss rates, page vs XOR mapping, DDR SDRAM.
+
+Expected shape (paper): miss rates rise with the number of threads
+(more interleaved access streams); the XOR mapping reduces them
+moderately (e.g. 40.1% -> 33.4% for 2-MIX), but rates stay high for
+MEM mixes because the DDR system has only 8 independent banks.
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import figure8
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_fig08_mapping_ddr(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, figure8, config=bench_config, runner=bench_runner
+    )
+    rows = {row[0]: row for row in result.rows}
+    # Miss rates rise with thread count under the page mapping.
+    assert _pct(rows["8-MEM"][1]) > _pct(rows["2-MEM"][1])
+    # MEM mixes keep substantial miss rates even under XOR (few banks).
+    assert _pct(rows["8-MEM"][2]) > 30.0

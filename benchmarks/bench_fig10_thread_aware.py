@@ -1,0 +1,29 @@
+"""Figure 10: thread-aware DRAM access scheduling (the contribution).
+
+Weighted speedup of FCFS, hit-first, age-based, and the paper's three
+thread-aware schemes (request-, ROB-, IQ-based), normalized to FCFS.
+Expected shape (paper): the single-thread-era policies gain a few
+percent; the thread-aware schemes gain the most on MEM mixes (up to
+~30%), and little on MIX mixes.
+"""
+
+from conftest import run_and_render
+from repro.experiments.figures import figure10
+
+
+def test_fig10_thread_aware(benchmark, bench_config, bench_runner):
+    result = run_and_render(
+        benchmark, figure10, config=bench_config, runner=bench_runner
+    )
+    labels = result.headers[1:]
+    rows = {row[0]: row for row in result.rows}
+    col = {label: i + 1 for i, label in enumerate(labels)}
+    # Thread-aware scheduling helps at least one MEM mix noticeably.
+    best_gain = max(
+        rows[mix][col[s]]
+        for mix in ("2-MEM", "4-MEM", "8-MEM")
+        for s in ("request-based", "rob-based", "iq-based")
+    )
+    assert best_gain > 1.03
+    # The request-based scheme beats plain FCFS on 4-MEM.
+    assert rows["4-MEM"][col["request-based"]] > 1.0

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_fig*.py`` regenerates one figure of the paper at a
+reduced instruction budget (the paper uses 100M instructions per
+thread on a compiled simulator; the pure-Python reproduction uses the
+scaled system described in DESIGN.md).  Budgets are chosen so the
+whole harness completes in minutes while preserving the figures'
+shapes.
+
+Set ``REPRO_BENCH_INSTRUCTIONS`` to raise the budget for
+higher-fidelity runs, e.g.::
+
+    REPRO_BENCH_INSTRUCTIONS=20000 pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.runner import Runner
+
+
+def _budget() -> int:
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "2500"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SystemConfig:
+    return SystemConfig(
+        scale=8,  # the calibration scale of the workload profiles
+        instructions_per_thread=_budget(),
+        warmup_instructions=max(200, _budget() // 4),
+        seed=2005,  # HPCA 2005
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> Runner:
+    """One runner for the whole session: single-thread baselines are
+    cached across figures that share a configuration."""
+    return Runner()
+
+
+def run_and_render(benchmark, fn, **kwargs):
+    """Benchmark one figure driver exactly once and print its table."""
+    result = benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one SMT workload mix on the paper's baseline.
+
+Builds the Table 1 system (8-wide SMT core, 64KB/512KB/4MB caches,
+2-channel DDR SDRAM, DWarn fetch policy), runs the 2-thread MIX
+workload (gzip + mcf), and prints per-thread performance plus the
+memory-system statistics the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Runner, SystemConfig, get_mix
+
+
+def main() -> None:
+    config = SystemConfig(
+        instructions_per_thread=8000,  # paper uses 100M; scaled system
+        warmup_instructions=2000,
+        seed=7,
+    )
+    mix = get_mix("2-MIX")
+    print(f"Running {mix.name}: {', '.join(mix.apps)}")
+    print(f"System: {config.channels}-channel {config.dram_type.upper()}, "
+          f"{config.mapping} mapping, {config.scheduler} scheduler, "
+          f"{config.fetch_policy} fetch policy\n")
+
+    runner = Runner()
+    result = runner.run_mix(config, mix)
+
+    print(result.core)
+    print()
+
+    stats = result.dram
+    print(f"DRAM reads/writes:        {stats.reads} / {stats.writes}")
+    print(f"Row-buffer hit rate:      {stats.row_hit_rate:.1%}")
+    print(f"Avg read latency:         {stats.avg_read_latency:.0f} CPU cycles")
+    print(f"Avg queueing delay:       {stats.avg_read_queue_delay:.0f} cycles")
+    print(f"P(>=8 requests | busy):   "
+          f"{stats.probability_outstanding_at_least(8):.1%}")
+
+    hierarchy = result.hierarchy
+    print(f"Cache hit rates:          L1D {hierarchy.l1d_hit_rate:.1%}, "
+          f"L2 {hierarchy.l2_hit_rate:.1%}, L3 {hierarchy.l3_hit_rate:.1%}")
+
+    speedup = runner.weighted_speedup(config, mix, result)
+    print(f"\nWeighted speedup (vs single-thread baselines): {speedup:.3f}")
+    print("(2.0 would be a perfect 2-thread SMT)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Thread-aware DRAM access scheduling (the paper's contribution).
+
+Runs a MEM workload mix under all six access schedulers and breaks the
+result down per thread: average DRAM read latency and IPC, showing how
+the request-based scheme rescues the serialized, low-MLP thread (mcf)
+from waiting behind the flooding thread's bursts.
+
+Run:  python examples/thread_aware_scheduling.py [mix-name]
+      (default 4-MEM)
+"""
+
+import sys
+
+from repro import Runner, SystemConfig, get_mix
+from repro.dram.schedulers import scheduler_names
+
+
+def main() -> None:
+    mix_name = sys.argv[1] if len(sys.argv) > 1 else "4-MEM"
+    mix = get_mix(mix_name)
+    runner = Runner()
+    base = SystemConfig(instructions_per_thread=6000, seed=3)
+
+    print(f"Access schedulers on {mix.name}: {', '.join(mix.apps)}\n")
+    baseline_ws = None
+    for scheduler in scheduler_names():
+        config = base.with_(scheduler=scheduler)
+        result = runner.run_mix(config, mix)
+        ws = runner.weighted_speedup(config, mix, result)
+        if baseline_ws is None:
+            baseline_ws = ws
+        gain = 100.0 * (ws / baseline_ws - 1.0)
+        stats = result.dram
+        per_thread = "  ".join(
+            f"{t.app_name}:{stats.avg_read_latency_for(t.thread_id):.0f}cy"
+            for t in result.core.threads
+        )
+        print(f"{scheduler:<14} WS={ws:.3f} ({gain:+5.1f}% vs fcfs)  "
+              f"row-hit={stats.row_hit_rate:.1%}")
+        print(f"{'':<14} per-thread read latency: {per_thread}")
+
+    print("\nThe thread-aware schemes (request/rob/iq-based) should give "
+          "the largest gains on MEM mixes (paper Figure 10, up to ~30%).")
+
+
+if __name__ == "__main__":
+    main()

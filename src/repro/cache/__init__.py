@@ -1,0 +1,30 @@
+"""Cache hierarchy: L1/L2/L3 set-associative caches, MSHRs, TLBs.
+
+Implements the three-level hierarchy of Table 1 (64 KB L1s, 512 KB L2,
+4 MB L3, 64 B lines, write-back/write-allocate) plus the pieces the
+paper's mechanisms depend on: MSHR files (16/cache) that bound and
+merge outstanding misses, and "perfect level" switches used by the
+CPI-breakdown methodology of Section 4.2.
+"""
+
+from repro.cache.cache import AccessResult, SetAssocCache
+from repro.cache.hierarchy import (
+    PENDING,
+    RETRY,
+    HierarchyParams,
+    MemoryHierarchy,
+)
+from repro.cache.mshr import MSHRFile, MSHRStatus
+from repro.cache.tlb import TLB
+
+__all__ = [
+    "AccessResult",
+    "HierarchyParams",
+    "MSHRFile",
+    "MSHRStatus",
+    "MemoryHierarchy",
+    "PENDING",
+    "RETRY",
+    "SetAssocCache",
+    "TLB",
+]

@@ -1,0 +1,111 @@
+"""Hardware prefetcher (Table 1: 4 prefetch MSHR entries per cache).
+
+A tagged stride/next-line prefetcher sitting at the L1D miss stream:
+on each demand miss it trains a per-thread stride table (keyed by the
+miss line's page) and, when a stable stride is seen, issues prefetches
+for the next ``degree`` lines down the stream.  Prefetches use their
+own small MSHR quota (Table 1 gives 4 per cache) so they can never
+starve demand misses, and are dropped — never queued — when the quota
+is exhausted.
+
+Disabled by default (``HierarchyParams(prefetch=False)``): the
+workload profiles were calibrated without prefetching, and the paper's
+evaluation never isolates the prefetcher.  The
+``bench_abl_prefetch.py`` ablation quantifies what it adds: streaming
+mixes (swim/lucas) gain, pointer-chasing mixes (mcf) see little.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+class StridePrefetcher:
+    """Per-thread stride detection over the demand-miss stream.
+
+    ``train()`` is called with every demand-miss line address and
+    returns the list of line addresses to prefetch (possibly empty).
+    """
+
+    def __init__(
+        self,
+        degree: int = 2,
+        table_entries: int = 64,
+        lines_per_page: int = 128,
+    ) -> None:
+        if degree < 1:
+            raise ConfigError(f"degree must be >= 1, got {degree}")
+        if table_entries < 1:
+            raise ConfigError(f"table_entries must be >= 1, got {table_entries}")
+        self.degree = degree
+        self.table_entries = table_entries
+        self.lines_per_page = lines_per_page
+        # (thread, page) -> [last_line, stride, confirmations]
+        self._table: dict[tuple[int, int], list[int]] = {}
+        self.trainings = 0
+        self.prefetches_suggested = 0
+
+    def train(self, thread_id: int, line: int) -> list[int]:
+        """Observe a demand miss; return lines to prefetch."""
+        self.trainings += 1
+        page = line // self.lines_per_page
+        key = (thread_id, page)
+        entry = self._table.get(key)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                # evict an arbitrary (oldest-inserted) entry
+                self._table.pop(next(iter(self._table)))
+            self._table[key] = [line, 0, 0]
+            return []
+        last_line, stride, confirmations = entry
+        new_stride = line - last_line
+        if new_stride == 0:
+            return []
+        if new_stride == stride:
+            confirmations += 1
+        else:
+            stride = new_stride
+            confirmations = 1
+        entry[0] = line
+        entry[1] = stride
+        entry[2] = confirmations
+        if confirmations < 2:
+            return []
+        suggestions = [line + stride * (i + 1) for i in range(self.degree)]
+        suggestions = [s for s in suggestions if s >= 0]
+        self.prefetches_suggested += len(suggestions)
+        return suggestions
+
+
+class PrefetchQuota:
+    """The Table 1 prefetch MSHR file: bounds in-flight prefetches.
+
+    Unlike demand MSHRs, an exhausted quota *drops* the prefetch
+    rather than back-pressuring anything.
+    """
+
+    def __init__(self, entries: int = 4) -> None:
+        if entries < 1:
+            raise ConfigError(f"entries must be >= 1, got {entries}")
+        self.entries = entries
+        self._in_flight: set[int] = set()
+        self.issued = 0
+        self.dropped = 0
+
+    def try_acquire(self, line: int) -> bool:
+        if line in self._in_flight:
+            self.dropped += 1
+            return False
+        if len(self._in_flight) >= self.entries:
+            self.dropped += 1
+            return False
+        self._in_flight.add(line)
+        self.issued += 1
+        return True
+
+    def release(self, line: int) -> None:
+        self._in_flight.discard(line)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)

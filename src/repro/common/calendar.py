@@ -1,0 +1,74 @@
+"""Slot calendars: per-cycle bandwidth resources.
+
+An out-of-order core has several resources that admit a fixed number of
+operations per cycle (issue width, commit width, cache ports).  The SMT
+core models contention on these with a *slot calendar*: asking for the
+first cycle at or after ``earliest`` with a free slot reserves that
+slot and returns the cycle.
+
+Allocations do not have to arrive in time order (an instruction that
+became ready far in the future may reserve its slot before one that
+becomes ready sooner), so completed cycles are only discarded when the
+owner explicitly advances the floor to the simulation clock via
+:meth:`SlotCalendar.advance_floor`.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+
+
+class SlotCalendar:
+    """Tracks slot occupancy of a ``width``-per-cycle resource.
+
+    Example
+    -------
+    >>> cal = SlotCalendar(width=2)
+    >>> [cal.allocate(10) for _ in range(5)]
+    [10, 10, 11, 11, 12]
+    """
+
+    __slots__ = ("width", "_used", "_floor")
+
+    #: Prune bookkeeping when more than this many cycles are tracked.
+    _PRUNE_THRESHOLD = 8192
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self._used: dict[int, int] = {}
+        self._floor = 0
+
+    def allocate(self, earliest: int) -> int:
+        """Reserve one slot at the first free cycle ``>= earliest``."""
+        if earliest < self._floor:
+            # The caller promised (via advance_floor) that no work
+            # would ever be scheduled this early again.
+            raise SimulationError(
+                f"allocation at {earliest} before calendar floor {self._floor}"
+            )
+        used = self._used
+        width = self.width
+        cycle = earliest
+        while used.get(cycle, 0) >= width:
+            cycle += 1
+        used[cycle] = used.get(cycle, 0) + 1
+        return cycle
+
+    def occupancy(self, cycle: int) -> int:
+        """Number of slots already reserved at ``cycle``."""
+        return self._used.get(cycle, 0)
+
+    def advance_floor(self, cycle: int) -> None:
+        """Declare that no allocation will ever be requested before ``cycle``.
+
+        Call this with the simulation clock once it is certain no
+        instruction can issue in the past; lets the calendar drop
+        bookkeeping for completed cycles.
+        """
+        if cycle <= self._floor:
+            return
+        self._floor = cycle
+        if len(self._used) > self._PRUNE_THRESHOLD:
+            self._used = {c: n for c, n in self._used.items() if c >= cycle}

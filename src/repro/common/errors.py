@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied.
+
+    Raised eagerly at construction time (e.g. a channel gang that does
+    not divide the physical channel count, a cache whose size is not a
+    multiple of ``line_size * associativity``) so misconfigurations are
+    reported before any simulation work happens.
+    """
+
+
+class SimulationError(ReproError):
+    """An internal invariant was violated while a simulation ran.
+
+    Seeing this exception means a bug in the simulator itself (an event
+    scheduled in the past, a bank issued a command while busy), never a
+    user mistake.
+    """

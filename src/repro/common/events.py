@@ -1,0 +1,98 @@
+"""Discrete-event queue driving the memory hierarchy and DRAM model.
+
+The SMT core advances a cycle counter; everything below the core (cache
+miss handling, DRAM command timing, response delivery) is scheduled on
+this queue.  Events at the same timestamp fire in FIFO scheduling
+order, which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Tuple
+
+from repro.common.errors import SimulationError
+
+EventFn = Callable[..., None]
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks.
+
+    Example
+    -------
+    >>> q = EventQueue()
+    >>> fired = []
+    >>> q.schedule(5, fired.append, "a")
+    >>> q.schedule(3, fired.append, "b")
+    >>> q.run_until(10)
+    10
+    >>> fired
+    ['b', 'a']
+    """
+
+    __slots__ = ("_heap", "_seq", "_now")
+
+    def __init__(self) -> None:
+        self._heap: list[Tuple[int, int, EventFn, tuple]] = []
+        self._seq = 0
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Timestamp of the most recently fired event (or 0)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: int, fn: EventFn, *args: Any) -> None:
+        """Schedule ``fn(*args)`` to fire at ``time``.
+
+        ``time`` may equal the current time (fires on the next pump) but
+        must never be in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"event scheduled at {time} before current time {self._now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    def next_time(self) -> int | None:
+        """Timestamp of the earliest pending event, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def run_until(self, time: int) -> int:
+        """Fire every event with timestamp ``<= time`` in order.
+
+        Returns the new current time (``time``).  Events scheduled by
+        fired events are themselves fired if they fall inside the
+        window, so the queue fully settles before control returns.
+        """
+        heap = self._heap
+        while heap and heap[0][0] <= time:
+            when, _seq, fn, args = heapq.heappop(heap)
+            self._now = when
+            fn(*args)
+        self._now = time
+        return time
+
+    def run_all(self, limit: int = 10_000_000) -> int:
+        """Drain the queue completely (used by memory-only simulations).
+
+        ``limit`` bounds the number of fired events to catch accidental
+        event storms; exceeding it raises :class:`SimulationError`.
+        """
+        fired = 0
+        heap = self._heap
+        while heap:
+            when, _seq, fn, args = heapq.heappop(heap)
+            self._now = when
+            fn(*args)
+            fired += 1
+            if fired > limit:
+                raise SimulationError(f"event limit {limit} exceeded; runaway loop?")
+        return self._now

@@ -1,0 +1,55 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic choice in the simulator (synthetic instruction mixes,
+address streams, branch outcomes) flows from a single root seed so that
+a given configuration always reproduces the same run.  Sub-streams are
+derived with stable string tags rather than sequential draws, so adding
+a new consumer never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class DeterministicRng(random.Random):
+    """A ``random.Random`` tagged with the path that derived it.
+
+    Behaves exactly like :class:`random.Random`; the ``tag`` is kept
+    for debugging so a surprising stream can be traced back to its
+    derivation path.
+    """
+
+    def __init__(self, seed: int, tag: str = "root") -> None:
+        super().__init__(seed)
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeterministicRng(tag={self.tag!r})"
+
+
+def derive_seed(root_seed: int, tag: str) -> int:
+    """Derive a 63-bit child seed from ``root_seed`` and a string tag.
+
+    Uses BLAKE2 rather than Python's ``hash`` so the derivation is
+    stable across processes and interpreter versions.
+    """
+    digest = hashlib.blake2b(
+        f"{root_seed}:{tag}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") & (2**63 - 1)
+
+
+def child_rng(root_seed: int, tag: str) -> DeterministicRng:
+    """Create an independent child RNG for the given tag.
+
+    >>> a = child_rng(1, "thread0")
+    >>> b = child_rng(1, "thread0")
+    >>> a.random() == b.random()
+    True
+    >>> c = child_rng(1, "thread1")
+    >>> a.random() == c.random()
+    False
+    """
+    return DeterministicRng(derive_seed(root_seed, tag), tag=tag)

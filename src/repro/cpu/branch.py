@@ -1,0 +1,170 @@
+"""Hybrid branch predictor and BTB (Table 1).
+
+Table 1 specifies a hybrid predictor with a 4K-entry global component
+and a 1K-entry local component, a 1K-entry 4-way branch target buffer,
+and a 32-entry return-address stack per thread.  This module
+implements the classic Alpha-21264-style tournament organization:
+
+* **global** — gshare: 2-bit saturating counters indexed by the branch
+  PC XOR the global history register;
+* **local** — a per-PC history table feeding a table of 2-bit
+  counters indexed by the local pattern;
+* **chooser** — 2-bit counters (indexed by global history) tracking
+  which component predicts better for the current context;
+* **BTB** — set-associative tag store; a taken branch whose target is
+  absent costs a redirect even when the direction was right.
+
+By default the SMT core uses the workload profile's stochastic
+mispredict flags (fast, calibrated).  Setting
+``CoreParams(branch_predictor=True)`` switches to this predictor, fed
+by the branch PCs and outcomes the workload generator synthesizes —
+mispredicts then *emerge* from prediction instead of being drawn.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+class _CounterTable:
+    """A table of 2-bit saturating counters (0-3; >=2 predicts taken)."""
+
+    __slots__ = ("_counters", "_mask")
+
+    def __init__(self, entries: int, init: int = 2) -> None:
+        if not _is_power_of_two(entries):
+            raise ConfigError(f"table entries must be a power of two, got {entries}")
+        self._counters = [init] * entries
+        self._mask = entries - 1
+
+    def predict(self, index: int) -> bool:
+        return self._counters[index & self._mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self._mask
+        counter = self._counters[i]
+        if taken:
+            if counter < 3:
+                self._counters[i] = counter + 1
+        elif counter > 0:
+            self._counters[i] = counter - 1
+
+
+class HybridPredictor:
+    """Tournament predictor: gshare + local, with a chooser.
+
+    One instance per hardware thread (each thread has its own global
+    history, as on real SMT front ends that tag or split history).
+    """
+
+    def __init__(
+        self,
+        global_entries: int = 4096,
+        local_entries: int = 1024,
+        local_history_bits: int = 10,
+    ) -> None:
+        if local_history_bits < 1 or local_history_bits > 16:
+            raise ConfigError(
+                f"local_history_bits must be in [1, 16], got {local_history_bits}"
+            )
+        self._global = _CounterTable(global_entries)
+        self._chooser = _CounterTable(global_entries, init=2)  # favour global
+        self._local_counters = _CounterTable(1 << local_history_bits)
+        self._local_history = [0] * local_entries
+        self._local_mask = local_entries - 1
+        if not _is_power_of_two(local_entries):
+            raise ConfigError(
+                f"local_entries must be a power of two, got {local_entries}"
+            )
+        self._history_mask = (1 << local_history_bits) - 1
+        self._ghist = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        g_index = pc ^ self._ghist
+        use_global = self._chooser.predict(self._ghist ^ pc)
+        if use_global:
+            return self._global.predict(g_index)
+        pattern = self._local_history[pc & self._local_mask]
+        return self._local_counters.predict(pattern)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True if it was mispredicted."""
+        g_index = pc ^ self._ghist
+        chooser_index = self._ghist ^ pc
+        pattern = self._local_history[pc & self._local_mask]
+
+        global_says = self._global.predict(g_index)
+        local_says = self._local_counters.predict(pattern)
+        used_global = self._chooser.predict(chooser_index)
+        predicted = global_says if used_global else local_says
+
+        # train the chooser toward whichever component was right
+        if global_says != local_says:
+            self._chooser.update(chooser_index, global_says == taken)
+        self._global.update(g_index, taken)
+        self._local_counters.update(pattern, taken)
+
+        self._local_history[pc & self._local_mask] = (
+            (pattern << 1) | int(taken)
+        ) & self._history_mask
+        self._ghist = ((self._ghist << 1) | int(taken)) & 0xFFF
+
+        self.predictions += 1
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB: tracks which branch PCs have known targets.
+
+    A *taken* branch missing from the BTB causes a fetch redirect even
+    if its direction was predicted correctly.
+    """
+
+    def __init__(self, entries: int = 1024, assoc: int = 4) -> None:
+        if entries % assoc:
+            raise ConfigError(
+                f"BTB entries {entries} not divisible by assoc {assoc}"
+            )
+        self._sets = entries // assoc
+        self._assoc = assoc
+        self._table: list[list[int]] = [[] for _ in range(self._sets)]
+        self.lookups = 0
+        self.misses = 0
+
+    def lookup_and_update(self, pc: int) -> bool:
+        """True if the PC's target was present (hit); inserts on miss."""
+        self.lookups += 1
+        entries = self._table[pc % self._sets]
+        if pc in entries:
+            entries.remove(pc)
+            entries.append(pc)
+            return True
+        self.misses += 1
+        entries.append(pc)
+        if len(entries) > self._assoc:
+            entries.pop(0)
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return 1.0 - self.misses / self.lookups

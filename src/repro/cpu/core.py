@@ -1,0 +1,579 @@
+"""The SMT core simulation loop.
+
+One :class:`SMTCore` owns a set of :class:`ThreadContext` objects and
+drives the whole simulation: it advances the cycle counter, pumps the
+shared event queue (which runs the cache and DRAM models), commits
+completed instructions in order per thread, and fetches/dispatches new
+instructions under the configured fetch policy.
+
+Modelling approach (see DESIGN.md): dependences are resolved at
+dispatch; issue-bandwidth contention is charged through slot calendars
+(8 integer + 4 floating-point issue slots per cycle); loads touch the
+memory hierarchy *at their issue time* so their latency reflects live
+cache/DRAM contention.  Shared issue queues, shared load/store queues,
+per-thread ROBs, MSHR back-pressure, branch-mispredict fetch redirect
+and per-thread fetch gating give the resource-clog behaviour the
+paper's fetch policies and thread-aware schedulers act on.
+
+The main loop skips idle stretches: when no thread can fetch (blocked
+or ROB-full) the clock jumps to the next event / unblock / commit
+time, which makes memory-bound multiprogrammed runs tractable in pure
+Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.calendar import SlotCalendar
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.events import EventQueue
+from repro.common.types import OpClass
+from repro.cache.hierarchy import PENDING, RETRY, MemoryHierarchy
+from repro.cpu.branch import BranchTargetBuffer, HybridPredictor
+from repro.cpu.fetch import FetchPolicy, make_fetch_policy
+from repro.cpu.stats import CoreResult, ThreadResult
+from repro.cpu.thread import FOREVER, Inflight, ThreadContext
+from repro.workloads.generator import SyntheticStream, Uop
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Pipeline parameters (Table 1 defaults)."""
+
+    fetch_width: int = 8
+    fetch_threads: int = 2
+    commit_width: int = 8
+    int_issue_width: int = 8
+    fp_issue_width: int = 4
+    int_iq_size: int = 64
+    fp_iq_size: int = 32
+    rob_size: int = 256
+    lq_size: int = 64
+    sq_size: int = 64
+    #: Fetch-to-issue depth of the 11-stage pipeline.
+    frontend_latency: int = 6
+    mispredict_penalty: int = 9
+    #: Fetch stall charged when an instruction-fetch group misses L1I.
+    icache_miss_penalty: int = 12
+    #: Re-issue delay for loads bounced by a full MSHR file.
+    retry_delay: int = 4
+    #: False (default): branches use the workload's pre-drawn
+    #: stochastic mispredict flags.  True: run the Table 1 hybrid
+    #: predictor + BTB (repro.cpu.branch) on the generator's branch
+    #: sites, so mispredicts emerge from prediction.
+    branch_predictor: bool = False
+    #: Record a (cycle, per-thread committed) sample every this many
+    #: cycles for phase/timeline analysis; 0 (default) disables.
+    sample_interval: int = 0
+    #: Execution latencies by op class.
+    latencies: dict = field(
+        default_factory=lambda: {
+            OpClass.INT_ALU: 1,
+            OpClass.INT_MULT: 7,
+            OpClass.FP_ALU: 4,
+            OpClass.FP_MULT: 4,
+            OpClass.BRANCH: 1,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fetch_width",
+            "fetch_threads",
+            "commit_width",
+            "int_issue_width",
+            "fp_issue_width",
+            "int_iq_size",
+            "fp_iq_size",
+            "rob_size",
+            "lq_size",
+            "sq_size",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+
+
+class SMTCore:
+    """Cycle-level simultaneous-multithreading core."""
+
+    #: How often (cycles) slot-calendar floors advance for pruning.
+    _CALENDAR_SWEEP = 4096
+
+    def __init__(
+        self,
+        params: CoreParams,
+        event_queue: EventQueue,
+        hierarchy: MemoryHierarchy,
+        fetch_policy: str | FetchPolicy,
+        workloads: list[tuple[str, SyntheticStream]],
+        icache_rngs: list | None = None,
+    ) -> None:
+        if not workloads:
+            raise ConfigError("at least one thread is required")
+        self.params = params
+        self.event_queue = event_queue
+        self.hierarchy = hierarchy
+        if isinstance(fetch_policy, str):
+            fetch_policy = make_fetch_policy(fetch_policy)
+        self.fetch_policy = fetch_policy
+        if icache_rngs is None:
+            import random
+
+            icache_rngs = [random.Random(97 + i) for i in range(len(workloads))]
+        self.threads = [
+            ThreadContext(i, name, stream, params.rob_size, icache_rngs[i])
+            for i, (name, stream) in enumerate(workloads)
+        ]
+        self._int_cal = SlotCalendar(params.int_issue_width)
+        self._fp_cal = SlotCalendar(params.fp_issue_width)
+        self.int_iq_used = 0
+        self.fp_iq_used = 0
+        self.lq_used = 0
+        self.sq_used = 0
+        self.cycle = 0
+        self._commit_ptr = 0
+        self._unfinished = 0
+        self._measuring = False
+        self._latency = params.latencies
+        # Issue-coverage tracking (the paper's "% of cycles the
+        # processor can issue at least one integer instruction").
+        # _release_iq events fire in time order, so counting distinct
+        # issue cycles is a single comparison.
+        self._last_int_issue_cycle = -1
+        self._int_issue_cycles = 0
+        #: Timeline samples: (cycle, committed-per-thread tuple).
+        self.timeline: list[tuple[int, tuple[int, ...]]] = []
+        self._next_sample = params.sample_interval or None
+        if params.branch_predictor:
+            self._predictors = [HybridPredictor() for _ in self.threads]
+            self._btbs = [BranchTargetBuffer() for _ in self.threads]
+        else:
+            self._predictors = None
+            self._btbs = None
+        #: Thread-cycles lost in the front end, by cause; every
+        #: (thread, cycle) pair gets exactly one disposition, so the
+        #: causes plus dispatched thread-cycles sum to
+        #: cycles * num_threads.  Skipped (idle-jumped) cycles are
+        #: attributed from the state that caused the jump.
+        self.stall_cycles = {
+            "fetch_blocked": 0,   # mispredict redirect / I-cache miss
+            "rob_full": 0,
+            "resource_full": 0,   # selected, but IQ/LSQ had no room
+            "not_selected": 0,    # eligible, but policy/ports passed it
+        }
+        #: Dispatch-attempt rejections by resource (event counts,
+        #: not thread-cycles; one stalled cycle can retry many times).
+        self.dispatch_rejections = {"iq": 0, "lsq": 0}
+
+    # ------------------------------------------------------------------
+    # public driver
+
+    def run(
+        self,
+        instructions_per_thread: int,
+        warmup_instructions: int = 0,
+        max_cycles: int = 1_000_000_000,
+    ) -> CoreResult:
+        """Simulate until every thread commits its instruction budget.
+
+        A thread that reaches its budget keeps running (so contention
+        on shared resources persists) but its IPC is measured at the
+        cycle the budget was reached.  ``warmup_instructions`` are
+        committed per thread first with statistics discarded, so caches
+        and row buffers reflect steady state.
+        """
+        if instructions_per_thread < 1:
+            raise ConfigError("instructions_per_thread must be >= 1")
+        if warmup_instructions:
+            self._run_phase(warmup_instructions, max_cycles)
+            self.hierarchy.reset_stats()
+        start = self.cycle
+        issue_cycles_base = self._int_issue_cycles
+        stall_base = dict(self.stall_cycles)
+        rejection_base = dict(self.dispatch_rejections)
+        self._run_phase(instructions_per_thread, max_cycles)
+        snapshot = self.hierarchy.snapshot()
+        results = []
+        reached_all = True
+        for t in self.threads:
+            end = t.finish_cycle if t.finish_cycle is not None else self.cycle
+            if t.finish_cycle is None:
+                reached_all = False
+            committed = min(t.measured_committed(), t.target)
+            results.append(
+                ThreadResult(
+                    thread_id=t.thread_id,
+                    app_name=t.app_name,
+                    committed=committed,
+                    cycles=max(1, end - start),
+                    dram_accesses=snapshot.dram_loads_per_thread.get(
+                        t.thread_id, 0
+                    ),
+                )
+            )
+        elapsed = max(1, self.cycle - start)
+        coverage = (self._int_issue_cycles - issue_cycles_base) / elapsed
+        return CoreResult(
+            cycles=self.cycle - start,
+            threads=tuple(results),
+            reached_all_targets=reached_all,
+            fetch_policy=self.fetch_policy.name,
+            extra={
+                "int_issue_coverage": min(1.0, coverage),
+                "stall_cycles": {
+                    k: v - stall_base[k]
+                    for k, v in self.stall_cycles.items()
+                },
+                "dispatch_rejections": {
+                    k: v - rejection_base[k]
+                    for k, v in self.dispatch_rejections.items()
+                },
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # phase loop
+
+    def _run_phase(self, per_thread_target: int, max_cycles: int) -> None:
+        for t in self.threads:
+            t.warmup_committed = t.committed
+            t.target = per_thread_target
+            t.finish_cycle = None
+        self._unfinished = len(self.threads)
+        deadline = self.cycle + max_cycles
+        next_sweep = self.cycle + self._CALENDAR_SWEEP
+        while self._unfinished and self.cycle < deadline:
+            self._tick()
+            if self.cycle >= next_sweep:
+                self._int_cal.advance_floor(self.cycle)
+                self._fp_cal.advance_floor(self.cycle)
+                next_sweep = self.cycle + self._CALENDAR_SWEEP
+            if self._unfinished:
+                self._maybe_skip()
+
+    def _tick(self) -> None:
+        cycle = self.cycle
+        self.event_queue.run_until(cycle)
+        self._commit(cycle)
+        self._fetch(cycle)
+        if self._next_sample is not None and cycle >= self._next_sample:
+            self.timeline.append(
+                (cycle, tuple(t.committed for t in self.threads))
+            )
+            interval = self.params.sample_interval
+            self._next_sample = cycle + interval
+        self.cycle = cycle + 1
+
+    def _maybe_skip(self) -> None:
+        """Jump the clock when no thread can make front-end progress."""
+        cycle = self.cycle
+        threads = self.threads
+        for t in threads:
+            if t.fetch_blocked_until <= cycle and not t.rob_full:
+                return
+        candidates = []
+        next_event = self.event_queue.next_time()
+        if next_event is not None:
+            candidates.append(next_event)
+        for t in threads:
+            if not t.rob_full and t.fetch_blocked_until < FOREVER:
+                candidates.append(t.fetch_blocked_until)
+            if t.rob:
+                head = t.rob[0]
+                if head.finish is not None:
+                    candidates.append(head.finish)
+        if not candidates:
+            raise SimulationError(
+                f"deadlock at cycle {cycle}: all threads blocked with no "
+                f"pending events"
+            )
+        target = min(candidates)
+        if target > cycle:
+            skipped = target - cycle
+            stalls = self.stall_cycles
+            for t in threads:
+                if t.fetch_blocked_until > cycle:
+                    stalls["fetch_blocked"] += skipped
+                else:  # the only other way into a skip
+                    stalls["rob_full"] += skipped
+            self.cycle = target
+
+    # ------------------------------------------------------------------
+    # commit stage
+
+    def _commit(self, cycle: int) -> None:
+        budget = self.params.commit_width
+        threads = self.threads
+        n = len(threads)
+        start = self._commit_ptr
+        for i in range(n):
+            if not budget:
+                break
+            t = threads[(start + i) % n]
+            rob = t.rob
+            while budget and rob:
+                head = rob[0]
+                finish = head.finish
+                if finish is None or finish > cycle:
+                    break
+                rob.popleft()
+                budget -= 1
+                t.committed += 1
+                opc = head.opc
+                if opc is OpClass.LOAD:
+                    self.lq_used -= 1
+                elif opc is OpClass.STORE:
+                    self.sq_used -= 1
+                if (
+                    t.finish_cycle is None
+                    and t.committed - t.warmup_committed >= t.target
+                ):
+                    t.finish_cycle = cycle
+                    self._unfinished -= 1
+        self._commit_ptr = (start + 1) % n
+
+    # ------------------------------------------------------------------
+    # fetch / dispatch stage
+
+    def _fetch(self, cycle: int) -> None:
+        params = self.params
+        stalls = self.stall_cycles
+        eligible = []
+        for t in self.threads:
+            if t.fetch_blocked_until > cycle:
+                stalls["fetch_blocked"] += 1
+            elif t.rob_full:
+                stalls["rob_full"] += 1
+            else:
+                eligible.append(t)
+        if not eligible:
+            return
+        order = self.fetch_policy.order(eligible, self, cycle)
+        fetched = 0
+        threads_used = 0
+        dispatched_threads = set()
+        resource_stalled: set[int] = set()
+        for t in order:
+            if threads_used >= params.fetch_threads:
+                break
+            if fetched >= params.fetch_width:
+                break
+            miss_rate = t.stream.profile.icache_miss_rate
+            if miss_rate and t.icache_rng.random() < miss_rate:
+                t.fetch_blocked_until = cycle + params.icache_miss_penalty
+                threads_used += 1
+                continue
+            taken = 0
+            while fetched < params.fetch_width and taken < params.fetch_width:
+                uop = t.pending_uop
+                if uop is None:
+                    uop = t.stream.next_uop()
+                outcome = self._dispatch(t, uop, cycle)
+                if not outcome:
+                    t.pending_uop = uop
+                    if not taken:
+                        resource_stalled.add(t.thread_id)
+                    break
+                t.pending_uop = None
+                fetched += 1
+                taken += 1
+                if outcome == 2:
+                    break  # redirect: nothing behind the branch is fetched
+                if t.rob_full:
+                    break
+            if taken:
+                threads_used += 1
+                dispatched_threads.add(t.thread_id)
+        for t in eligible:
+            tid = t.thread_id
+            if tid in dispatched_threads:
+                continue
+            if tid in resource_stalled:
+                stalls["resource_full"] += 1
+            else:
+                stalls["not_selected"] += 1
+
+    def _branch_mispredicted(self, t: ThreadContext, uop: Uop) -> bool:
+        """Resolve whether this branch redirects the front end."""
+        if self._predictors is None or not uop.pc:
+            return uop.mispredict
+        mispredicted = self._predictors[t.thread_id].update(uop.pc, uop.taken)
+        if uop.taken and not self._btbs[t.thread_id].lookup_and_update(uop.pc):
+            mispredicted = True  # unknown target: redirect anyway
+        return mispredicted
+
+    def _dispatch(self, t: ThreadContext, uop: Uop, cycle: int) -> int:
+        """Rename/dispatch one µop.
+
+        Returns 0 when a shared resource is full (caller retries the
+        µop later), 1 on success, 2 on success where the µop was a
+        mispredicted branch (the caller stops fetching behind it).
+        """
+        opc = uop.opc
+        if t.rob_full:
+            return False
+        if opc.is_fp:
+            if self.fp_iq_used >= self.params.fp_iq_size:
+                self.dispatch_rejections["iq"] += 1
+                return 0
+        elif self.int_iq_used >= self.params.int_iq_size:
+            self.dispatch_rejections["iq"] += 1
+            return 0
+        if opc is OpClass.LOAD and self.lq_used >= self.params.lq_size:
+            self.dispatch_rejections["lsq"] += 1
+            return 0
+        if opc is OpClass.STORE and self.sq_used >= self.params.sq_size:
+            self.dispatch_rejections["lsq"] += 1
+            return 0
+
+        mispredicted = (
+            opc is OpClass.BRANCH and self._branch_mispredicted(t, uop)
+        )
+        node = Inflight(
+            t.thread_id,
+            t.seq,
+            opc,
+            uop.addr,
+            mispredicted,
+            cycle + self.params.frontend_latency,
+        )
+        dep1 = uop.dep1
+        if dep1:
+            producer = t.producer(dep1)
+            if producer is not None:
+                finish = producer.finish
+                if finish is None:
+                    node.deps_left += 1
+                    producer.add_waiter(node)
+                elif finish > node.ready_lb:
+                    node.ready_lb = finish
+        dep2 = uop.dep2
+        if dep2:
+            producer = t.producer(dep2)
+            if producer is not None:
+                finish = producer.finish
+                if finish is None:
+                    node.deps_left += 1
+                    producer.add_waiter(node)
+                elif finish > node.ready_lb:
+                    node.ready_lb = finish
+
+        t.ring[t.seq % len(t.ring)] = node
+        t.seq += 1
+        t.rob.append(node)
+        t.fetched += 1
+        t.unissued += 1
+        if opc.is_fp:
+            self.fp_iq_used += 1
+            t.iq_fp += 1
+        else:
+            self.int_iq_used += 1
+            t.iq_int += 1
+        if opc is OpClass.LOAD:
+            self.lq_used += 1
+        elif opc is OpClass.STORE:
+            self.sq_used += 1
+        if mispredicted:
+            # Fetch stops until the branch resolves; the waiter reopens
+            # it after the refill penalty.
+            t.fetch_blocked_until = FOREVER
+            node.add_waiter(self._make_branch_unblock(t))
+        if node.deps_left == 0:
+            self._schedule_issue(node)
+        return 2 if mispredicted else 1
+
+    def _make_branch_unblock(self, t: ThreadContext):
+        penalty = self.params.mispredict_penalty
+
+        def unblock(finish: int) -> None:
+            t.fetch_blocked_until = finish + penalty
+
+        return unblock
+
+    # ------------------------------------------------------------------
+    # issue / execute
+
+    def _schedule_issue(self, node: Inflight) -> None:
+        opc = node.opc
+        calendar = self._fp_cal if opc.is_fp else self._int_cal
+        earliest = node.ready_lb
+        now = self.event_queue.now
+        if now > earliest:
+            earliest = now
+        issue = calendar.allocate(earliest)
+        if opc is OpClass.LOAD:
+            self.event_queue.schedule(issue, self._issue_load, node)
+        elif opc is OpClass.STORE:
+            self.event_queue.schedule(issue, self._issue_store, node)
+        else:
+            self.event_queue.schedule(issue, self._release_iq, node)
+            self._resolve(node, issue + self._latency[opc])
+
+    def _release_iq(self, node: Inflight) -> None:
+        t = self.threads[node.thread_id]
+        t.unissued -= 1
+        if node.opc.is_fp:
+            self.fp_iq_used -= 1
+            t.iq_fp -= 1
+        else:
+            self.int_iq_used -= 1
+            t.iq_int -= 1
+            now = self.event_queue.now
+            if now != self._last_int_issue_cycle:
+                self._last_int_issue_cycle = now
+                self._int_issue_cycles += 1
+
+    def _issue_load(self, node: Inflight) -> None:
+        self._release_iq(node)
+        self._try_load(node)
+
+    def _try_load(self, node: Inflight) -> None:
+        t = self.threads[node.thread_id]
+        now = self.event_queue.now
+        result = self.hierarchy.load(
+            node.addr,
+            t.thread_id,
+            now,
+            rob_occupancy=len(t.rob),
+            iq_occupancy=t.iq_int,
+            callback=lambda finish, node=node: self._resolve(node, finish),
+        )
+        if result is RETRY:
+            self.event_queue.schedule(
+                now + self.params.retry_delay, self._try_load, node
+            )
+        elif result is not PENDING:
+            self._resolve(node, result)
+
+    def _issue_store(self, node: Inflight) -> None:
+        self._release_iq(node)
+        t = self.threads[node.thread_id]
+        now = self.event_queue.now
+        done = self.hierarchy.store(
+            node.addr,
+            t.thread_id,
+            now,
+            rob_occupancy=len(t.rob),
+            iq_occupancy=t.iq_int,
+        )
+        self._resolve(node, done)
+
+    # ------------------------------------------------------------------
+    # completion plumbing
+
+    def _resolve(self, node: Inflight, finish: int) -> None:
+        """The node's finish time became known; wake its dependents."""
+        node.finish = finish
+        waiters = node.waiters
+        if waiters:
+            node.waiters = None
+            for waiter in waiters:
+                if waiter.__class__ is Inflight:
+                    if finish > waiter.ready_lb:
+                        waiter.ready_lb = finish
+                    waiter.deps_left -= 1
+                    if waiter.deps_left == 0:
+                        self._schedule_issue(waiter)
+                else:
+                    waiter(finish)

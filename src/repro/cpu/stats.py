@@ -1,0 +1,99 @@
+"""Result records produced by an SMT core run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ThreadResult:
+    """Measured performance of one hardware thread.
+
+    ``cycles`` is the number of measured cycles the thread took to
+    commit ``committed`` instructions (for threads that reached their
+    target, the cycle their target was hit; otherwise the whole run).
+    """
+
+    thread_id: int
+    app_name: str
+    committed: int
+    cycles: int
+    dram_accesses: int
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.committed if self.committed else float("inf")
+
+    @property
+    def dram_per_100_instructions(self) -> float:
+        """Main-memory accesses per 100 committed instructions."""
+        if not self.committed:
+            return 0.0
+        return 100.0 * self.dram_accesses / self.committed
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Outcome of one simulation run."""
+
+    cycles: int
+    threads: tuple[ThreadResult, ...]
+    reached_all_targets: bool
+    fetch_policy: str
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_committed(self) -> int:
+        return sum(t.committed for t in self.threads)
+
+    @property
+    def int_issue_coverage(self) -> float:
+        """Fraction of measured cycles with >= 1 integer-side issue.
+
+        The paper uses this to explain ICOUNT's clog on 8-MIX (43.8%
+        of cycles issuable vs 92.2% under DWarn).  0.0 when the run
+        did not record it.
+        """
+        return float(self.extra.get("int_issue_coverage", 0.0))
+
+    @property
+    def stall_cycles(self) -> dict:
+        """Thread-cycles lost in the front end, by cause.
+
+        Keys: fetch_blocked (redirect / I-miss), rob_full,
+        resource_full (selected but the shared IQ/LSQ was full), and
+        not_selected (eligible but passed over by the policy or the
+        2-thread/8-slot fetch ports).  Together with dispatched
+        thread-cycles these sum to ``cycles * num_threads``.  Empty
+        when the run did not record it.
+        """
+        return dict(self.extra.get("stall_cycles", {}))
+
+    @property
+    def dispatch_rejections(self) -> dict:
+        """Dispatch attempts bounced by a full IQ / LSQ (event counts)."""
+        return dict(self.extra.get("dispatch_rejections", {}))
+
+    @property
+    def throughput_ipc(self) -> float:
+        """Total committed instructions per cycle across all threads."""
+        return self.total_committed / self.cycles if self.cycles else 0.0
+
+    def ipc_of(self, thread_id: int) -> float:
+        return self.threads[thread_id].ipc
+
+    def __str__(self) -> str:
+        lines = [
+            f"CoreResult: {self.cycles} cycles, policy={self.fetch_policy}, "
+            f"throughput={self.throughput_ipc:.3f} IPC"
+        ]
+        for t in self.threads:
+            lines.append(
+                f"  t{t.thread_id} {t.app_name:<10} committed={t.committed:>8} "
+                f"ipc={t.ipc:.3f} dram/100instr={t.dram_per_100_instructions:.2f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Per-bank row-buffer state and the open/close page modes.
+
+A bank is a two-dimensional cell array fronted by a row buffer (sense
+amplifiers).  An access needs (Section 2 of the paper):
+
+* a **column access** only, if the requested row is already in the row
+  buffer (row-buffer *hit*);
+* a **row access + column access**, if the bank is precharged (row
+  buffer *empty*);
+* a **precharge + row access + column access**, if another row is open
+  (row-buffer *conflict*).
+
+Under the **open** page mode the row is kept in the buffer after the
+access, betting on locality; under the **close** page mode the bank is
+precharged immediately after the column access, so every access costs
+``row + column`` but never pays the precharge on the critical path.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.dram.timing import DRAMTiming
+
+
+class PageMode(enum.Enum):
+    """Row-buffer management policy (Section 2)."""
+
+    OPEN = "open"
+    CLOSE = "close"
+
+
+class Bank:
+    """State of a single independent DRAM bank.
+
+    ``open_row`` is the row currently latched in the row buffer
+    (``None`` when precharged); ``free_at`` is the cycle at which the
+    bank can accept its next command.
+    """
+
+    __slots__ = ("open_row", "free_at", "services", "row_hits")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        self.free_at = 0
+        self.services = 0
+        self.row_hits = 0
+
+    def classify(self, row: int, page_mode: PageMode) -> str:
+        """How an access to ``row`` would be served: hit/closed/conflict."""
+        if page_mode is PageMode.CLOSE or self.open_row is None:
+            return "closed"
+        if self.open_row == row:
+            return "hit"
+        return "conflict"
+
+    def service_latency(self, row: int, page_mode: PageMode, timing: DRAMTiming) -> int:
+        """Command latency (before the data burst) to access ``row``."""
+        kind = self.classify(row, page_mode)
+        if kind == "hit":
+            return timing.hit_latency
+        if kind == "closed":
+            return timing.closed_latency
+        return timing.conflict_latency
+
+    def serve(
+        self,
+        row: int,
+        start: int,
+        data_end: int,
+        page_mode: PageMode,
+        timing: DRAMTiming,
+    ) -> bool:
+        """Commit an access to ``row`` occupying the bank until it completes.
+
+        ``start`` is when the bank begins the command sequence,
+        ``data_end`` when the data burst finishes on the bus.  Returns
+        whether the access was a row-buffer hit.
+
+        Under the close page mode the bank additionally pays the
+        precharge after the burst before it is free again, and the row
+        buffer is left empty.
+        """
+        hit = self.classify(row, page_mode) == "hit"
+        self.services += 1
+        if hit:
+            self.row_hits += 1
+        if page_mode is PageMode.OPEN:
+            self.open_row = row
+            self.free_at = data_end
+        else:
+            self.open_row = None
+            self.free_at = data_end + timing.t_pre
+        return hit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bank(open_row={self.open_row}, free_at={self.free_at})"

@@ -1,0 +1,299 @@
+"""Command-level DRAM channel controller.
+
+An alternative to the request-level
+:class:`~repro.dram.controller.ChannelController` that models the
+individual DRAM operations the paper's Section 2 describes — PRECHARGE,
+ACTIVATE (row access), READ/WRITE (column access) — with the full
+bank-state machine and inter-command constraints:
+
+* ``tRCD``  ACTIVATE -> column command to the same bank,
+* ``tCAS``  column command -> first data beat,
+* ``tRP``   PRECHARGE -> ACTIVATE,
+* ``tRAS``  minimum ACTIVATE -> PRECHARGE,
+* ``tRRD``  ACTIVATE -> ACTIVATE across banks of one channel,
+* one command per DRAM clock on the shared command bus,
+* data-bus turnaround when the burst direction flips,
+* periodic all-bank refresh (``tREFI``/``tRFC``).
+
+Scheduling remains *request-first*: the configured scheduler picks
+which pending request to advance, and the controller issues that
+request's next required command (FR-FCFS behaviour emerges from the
+hit-first scheduler).  Commands from different requests naturally
+interleave: one bank's ACTIVATE proceeds under another's data burst.
+
+Select with ``SystemConfig(controller_model="command")`` or
+``MemorySystem(..., controller_model="command")``.  The request-level
+model is the default — it is several times faster and calibrated
+against the paper's shapes; this model is for fidelity-sensitive
+studies (command-bus contention, tRAS-limited banks).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.common.events import EventQueue
+from repro.common.types import MemRequest
+from repro.dram.bank import PageMode
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.schedulers import Scheduler
+from repro.dram.stats import DRAMStats
+from repro.dram.timing import DRAMTiming
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dram.system import MemorySystem
+
+
+class Command(enum.Enum):
+    """DRAM operations (Section 2 of the paper)."""
+
+    PRECHARGE = "precharge"
+    ACTIVATE = "activate"
+    READ = "read"
+    WRITE = "write"
+
+
+class _BankState:
+    """Full bank state machine for the command-level model."""
+
+    __slots__ = ("open_row", "ready_at", "activated_at", "burst_done_at")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        #: When the next command to this bank may start.
+        self.ready_at = 0
+        #: Time of the last ACTIVATE (for the tRAS constraint).
+        self.activated_at = -(10**9)
+        #: When the bank's last column burst finishes (a PRECHARGE must
+        #: not cut off in-flight data).
+        self.burst_done_at = 0
+
+
+class CommandChannelController:
+    """Command-level scheduler/state machine for one logical channel.
+
+    Drop-in replacement for
+    :class:`~repro.dram.controller.ChannelController`: same queue
+    interface (``enqueue``/``pump``), same scheduler-context protocol,
+    same statistics hooks.
+    """
+
+    WRITE_DRAIN_HIGH = 16
+    WRITE_DRAIN_LOW = 4
+
+    def __init__(
+        self,
+        channel_id: int,
+        geometry: DRAMGeometry,
+        timing: DRAMTiming,
+        page_mode: PageMode,
+        scheduler: Scheduler,
+        event_queue: EventQueue,
+        stats: DRAMStats,
+        system: "MemorySystem",
+    ) -> None:
+        self.channel_id = channel_id
+        self.timing = timing
+        self.page_mode = page_mode
+        self.scheduler = scheduler
+        self.event_queue = event_queue
+        self.stats = stats
+        self.system = system
+        self.banks = [
+            _BankState() for _ in range(geometry.banks_per_logical_channel)
+        ]
+        self.transfer = timing.transfer_for_gang(geometry.gang)
+        #: Column commands are held back while the data bus is already
+        #: committed this far ahead, keeping scheduling decisions late
+        #: and well-informed (same rationale as the request-level
+        #: controller's horizon).
+        self.horizon = 2 * self.transfer
+        self.bus_free_at = 0
+        self.cmd_free_at = 0
+        self.last_activate_at = -(10**9)
+        #: Direction of the last data burst ("r"/"w"/None) for
+        #: turnaround accounting.
+        self.last_burst: str | None = None
+        self.reads: list[MemRequest] = []
+        self.writes: list[MemRequest] = []
+        self._draining = False
+        self._next_wake: int | None = None
+        self.commands_issued: dict[Command, int] = {c: 0 for c in Command}
+        self.refreshes = 0
+        self._next_refresh_at = timing.t_refi if timing.t_refi else None
+        #: Requests that already received a PRECHARGE/ACTIVATE from us;
+        #: a column command to a request not in this set found its row
+        #: already open -- a row-buffer hit.
+        self._prepared: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # scheduler context protocol
+
+    def is_row_hit(self, request: MemRequest) -> bool:
+        return self.banks[request.bank].open_row == request.row
+
+    def outstanding_for_thread(self, thread_id: int) -> int:
+        return self.system.outstanding_for_thread(thread_id)
+
+    # ------------------------------------------------------------------
+    # queue interface
+
+    @property
+    def pending(self) -> int:
+        return len(self.reads) + len(self.writes)
+
+    def enqueue(self, request: MemRequest) -> None:
+        if request.is_read:
+            self.reads.append(request)
+        else:
+            self.writes.append(request)
+        self.pump()
+
+    # ------------------------------------------------------------------
+    # command legality
+
+    def _next_command(self, request: MemRequest) -> Command:
+        """The command this request needs next, given its bank state."""
+        bank = self.banks[request.bank]
+        if bank.open_row == request.row:
+            return Command.READ if request.is_read else Command.WRITE
+        if bank.open_row is None:
+            return Command.ACTIVATE
+        return Command.PRECHARGE
+
+    def _earliest_issue(self, request: MemRequest, command: Command) -> int:
+        """Earliest time the command could legally go on the buses."""
+        bank = self.banks[request.bank]
+        earliest = max(bank.ready_at, self.cmd_free_at)
+        if command is Command.ACTIVATE:
+            earliest = max(earliest, self.last_activate_at + self.timing.t_rrd)
+        elif command is Command.PRECHARGE:
+            earliest = max(
+                earliest,
+                bank.activated_at + self.timing.t_ras,
+                bank.burst_done_at,
+            )
+        else:  # READ / WRITE: respect the bus-commitment horizon
+            earliest = max(earliest, self.bus_free_at - self.horizon)
+        return earliest
+
+    # ------------------------------------------------------------------
+    # scheduling engine
+
+    def _select_pool(self) -> list[MemRequest]:
+        if len(self.writes) >= self.WRITE_DRAIN_HIGH:
+            self._draining = True
+        elif self._draining and len(self.writes) <= self.WRITE_DRAIN_LOW:
+            self._draining = False
+        if self.reads and not self._draining:
+            return self.reads
+        if self.writes:
+            return self.writes
+        return self.reads
+
+    def _maybe_refresh(self, now: int) -> None:
+        """All-bank refresh: rows close, banks stall for tRFC."""
+        if self._next_refresh_at is None or now < self._next_refresh_at:
+            return
+        done = now + self.timing.t_rfc
+        for bank in self.banks:
+            bank.open_row = None
+            bank.ready_at = max(bank.ready_at, done)
+        self.refreshes += 1
+        self._next_refresh_at += self.timing.t_refi
+
+    def pump(self) -> None:
+        """Issue legal commands now; sleep until the next one is legal."""
+        issued_something = True
+        while issued_something:
+            issued_something = False
+            now = self.event_queue.now
+            self._maybe_refresh(now)
+            pool = self._select_pool()
+            if not pool:
+                return
+            ready = []
+            earliest_future = None
+            for request in pool:
+                command = self._next_command(request)
+                at = self._earliest_issue(request, command)
+                if at <= now:
+                    ready.append(request)
+                elif earliest_future is None or at < earliest_future:
+                    earliest_future = at
+            if not ready:
+                if earliest_future is not None:
+                    self._wake_at(earliest_future)
+                return
+            request = self.scheduler.select(ready, now, self)
+            self._issue(request, self._next_command(request), now)
+            issued_something = True
+
+    def _issue(self, request: MemRequest, command: Command, now: int) -> None:
+        bank = self.banks[request.bank]
+        timing = self.timing
+        self.cmd_free_at = now + timing.t_cmd
+        self.commands_issued[command] += 1
+        if request.issue_time < 0:
+            request.issue_time = now
+        if command is Command.PRECHARGE:
+            self._prepared.add(request.req_id)
+            bank.open_row = None
+            bank.ready_at = now + timing.t_pre
+            return
+        if command is Command.ACTIVATE:
+            self._prepared.add(request.req_id)
+            bank.open_row = request.row
+            bank.ready_at = now + timing.t_row  # tRCD
+            bank.activated_at = now
+            self.last_activate_at = now
+            return
+        # READ / WRITE: schedule the data burst.
+        direction = "r" if command is Command.READ else "w"
+        bus_available = self.bus_free_at
+        if self.last_burst is not None and self.last_burst != direction:
+            bus_available += timing.t_turnaround
+        data_start = max(now + timing.t_col, bus_available)
+        data_end = data_start + self.transfer
+        self.bus_free_at = data_end
+        self.last_burst = direction
+        bank.burst_done_at = data_end
+        # Hit iff the row was already open before any command of ours:
+        # requests that needed their own PRECHARGE/ACTIVATE are misses.
+        hit = request.row_hit = request.req_id not in self._prepared
+        self._prepared.discard(request.req_id)
+        if self.page_mode is PageMode.OPEN:
+            bank.ready_at = data_end
+        else:
+            # auto-precharge after the burst
+            bank.open_row = None
+            bank.ready_at = data_end + timing.t_pre
+        (self.reads if request.is_read else self.writes).remove(request)
+        request.finish_time = (
+            data_end + timing.ctrl_response if request.is_read else data_end
+        )
+        self.stats.record_service(request.is_read, hit, request.thread_id)
+        if request.is_read:
+            queue_delay = max(0, now - (request.arrival + timing.ctrl_request))
+            self.stats.record_read_latency(
+                request.finish_time - request.arrival,
+                queue_delay,
+                request.thread_id,
+            )
+        self.event_queue.schedule(
+            request.finish_time, self.system.complete, request
+        )
+
+    def _wake_at(self, time: int) -> None:
+        now = self.event_queue.now
+        time = max(time, now + 1)
+        if self._next_wake is not None and self._next_wake <= time:
+            return
+        self._next_wake = time
+        self.event_queue.schedule(time, self._on_wake, time)
+
+    def _on_wake(self, scheduled_for: int) -> None:
+        if self._next_wake == scheduled_for:
+            self._next_wake = None
+        self.pump()

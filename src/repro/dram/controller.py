@@ -1,0 +1,175 @@
+"""Per-logical-channel DRAM controller.
+
+Each logical channel owns its banks and data bus and schedules pending
+requests with a pluggable :class:`~repro.dram.schedulers.Scheduler`.
+The model is request-level but captures the timing structure that the
+paper's optimizations exploit:
+
+* state-dependent service latency (hit / closed / conflict) from the
+  bank row-buffer state and the page mode;
+* bank/bus decoupling: the command phase (precharge + activate +
+  column access) of one request overlaps the data burst of another on
+  a different bank, so the bus pipelines whenever possible;
+* a bounded scheduling horizon: the controller never commits the bus
+  more than a couple of bursts ahead, so newly arriving requests can
+  still be reordered in front of waiting ones — the property access
+  scheduling depends on;
+* separate read and write queues with read priority and a
+  high/low-watermark write-drain mode, the standard way to let reads
+  bypass writes without starving write-backs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.events import EventQueue
+from repro.common.types import MemRequest
+from repro.dram.bank import Bank, PageMode
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.schedulers import Scheduler
+from repro.dram.stats import DRAMStats
+from repro.dram.timing import DRAMTiming
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dram.system import MemorySystem
+
+
+class ChannelController:
+    """Scheduler + bank/bus state for one logical channel."""
+
+    #: Write-queue watermarks for drain mode.
+    WRITE_DRAIN_HIGH = 16
+    WRITE_DRAIN_LOW = 4
+
+    def __init__(
+        self,
+        channel_id: int,
+        geometry: DRAMGeometry,
+        timing: DRAMTiming,
+        page_mode: PageMode,
+        scheduler: Scheduler,
+        event_queue: EventQueue,
+        stats: DRAMStats,
+        system: "MemorySystem",
+    ) -> None:
+        self.channel_id = channel_id
+        self.timing = timing
+        self.page_mode = page_mode
+        self.scheduler = scheduler
+        self.event_queue = event_queue
+        self.stats = stats
+        self.system = system
+        self.banks = [Bank() for _ in range(geometry.banks_per_logical_channel)]
+        self.transfer = timing.transfer_for_gang(geometry.gang)
+        #: How far ahead (cycles) the bus may be committed before the
+        #: controller stops issuing and waits; keeps scheduling
+        #: reactive.  A tight horizon trades some bank-prep overlap for
+        #: a late (well-informed) scheduling decision -- reordering
+        #: quality is what the paper's schedulers depend on, so the
+        #: window stays small (about one data burst committed ahead).
+        self.horizon = 2 * self.transfer
+        self.bus_free_at = 0
+        self.reads: list[MemRequest] = []
+        self.writes: list[MemRequest] = []
+        self._draining = False
+        self._next_wake: int | None = None
+
+    # ------------------------------------------------------------------
+    # scheduler context protocol
+
+    def is_row_hit(self, request: MemRequest) -> bool:
+        """Whether ``request`` would hit the row buffer right now."""
+        bank = self.banks[request.bank]
+        return bank.classify(request.row, self.page_mode) == "hit"
+
+    def outstanding_for_thread(self, thread_id: int) -> int:
+        """Live outstanding-request count (for the request-based scheme)."""
+        return self.system.outstanding_for_thread(thread_id)
+
+    # ------------------------------------------------------------------
+    # queue interface
+
+    @property
+    def pending(self) -> int:
+        return len(self.reads) + len(self.writes)
+
+    def enqueue(self, request: MemRequest) -> None:
+        """Accept a mapped request; called at controller arrival time."""
+        if request.is_read:
+            self.reads.append(request)
+        else:
+            self.writes.append(request)
+        self.pump()
+
+    # ------------------------------------------------------------------
+    # scheduling engine
+
+    def _select_pool(self) -> list[MemRequest]:
+        """Pick which queue to serve from, honouring write watermarks."""
+        if len(self.writes) >= self.WRITE_DRAIN_HIGH:
+            self._draining = True
+        elif self._draining and len(self.writes) <= self.WRITE_DRAIN_LOW:
+            self._draining = False
+        if self.reads and not self._draining:
+            return self.reads
+        if self.writes:
+            return self.writes
+        return self.reads
+
+    def pump(self) -> None:
+        """Issue as much work as the horizon allows, then sleep."""
+        now = self.event_queue.now
+        while True:
+            pool = self._select_pool()
+            if not pool:
+                return
+            if self.bus_free_at - now > self.horizon:
+                # Enough work committed; revisit when the bus drains.
+                self._wake_at(self.bus_free_at - self.horizon)
+                return
+            banks = self.banks
+            ready = [r for r in pool if banks[r.bank].free_at <= now]
+            if not ready:
+                self._wake_at(min(banks[r.bank].free_at for r in pool))
+                return
+            request = self.scheduler.select(ready, now, self)
+            self._issue(request, now)
+
+    def _issue(self, request: MemRequest, now: int) -> None:
+        bank = self.banks[request.bank]
+        latency = bank.service_latency(request.row, self.page_mode, self.timing)
+        data_start = max(now + latency, self.bus_free_at)
+        data_end = data_start + self.transfer
+        hit = bank.serve(request.row, now, data_end, self.page_mode, self.timing)
+        self.bus_free_at = data_end
+        (self.reads if request.is_read else self.writes).remove(request)
+        request.issue_time = now
+        request.row_hit = hit
+        request.finish_time = (
+            data_end + self.timing.ctrl_response if request.is_read else data_end
+        )
+        self.stats.record_service(request.is_read, hit, request.thread_id)
+        if request.is_read:
+            queue_delay = max(0, now - (request.arrival + self.timing.ctrl_request))
+            self.stats.record_read_latency(
+                request.finish_time - request.arrival,
+                queue_delay,
+                request.thread_id,
+            )
+        self.event_queue.schedule(
+            request.finish_time, self.system.complete, request
+        )
+
+    def _wake_at(self, time: int) -> None:
+        now = self.event_queue.now
+        time = max(time, now + 1)
+        if self._next_wake is not None and self._next_wake <= time:
+            return
+        self._next_wake = time
+        self.event_queue.schedule(time, self._on_wake, time)
+
+    def _on_wake(self, scheduled_for: int) -> None:
+        if self._next_wake == scheduled_for:
+            self._next_wake = None
+        self.pump()

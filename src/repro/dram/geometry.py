@@ -1,0 +1,145 @@
+"""DRAM system geometry: channels, ganging, chip groups, banks, pages.
+
+The paper's Section 5.3 studies *channel organizations*: ``NC-GG``
+means ``N`` physical channels where every ``G`` of them are ganged
+(lock-stepped) into one logical channel.  Ganging widens the logical
+bus (shorter transfer per line) but reduces the number of requests the
+system can serve concurrently; crucially it does **not** add banks --
+the ganged channels' banks operate in lock step, so a logical channel
+has the bank count of a single physical channel while its row buffer
+(page) becomes ``G`` times wider.
+
+Bank counts follow Table 1 and Section 5.4:
+
+* DDR SDRAM: all chips on a channel form one lock-stepped group to
+  feed the wide 16 B bus -> 1 group/channel x 4 banks/chip = 4
+  independent banks per channel ("eight for the 2-channel system").
+* Direct Rambus: every chip is an independent group on the narrow bus
+  -> 4 chips/channel x 32 banks/chip = 128 independent banks per
+  channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DRAMGeometry:
+    """Physical organization of the memory system.
+
+    Attributes
+    ----------
+    physical_channels:
+        Number of physical channels (2, 4, or 8 in the paper).
+    gang:
+        Physical channels per logical channel; must divide
+        ``physical_channels``.
+    groups_per_channel:
+        Independent chip groups on one physical channel (1 for DDR
+        SDRAM, one per chip for Rambus).
+    banks_per_group:
+        Banks inside each group (4 for DDR chips, 32 for RDRAM chips).
+    page_bytes:
+        Row-buffer size of one physical channel's bank.
+    line_bytes:
+        Cache-line / transfer granularity (64 B in Table 1).
+    rows_per_bank:
+        Rows per bank; addresses wrap modulo the total capacity.
+    """
+
+    physical_channels: int = 2
+    gang: int = 1
+    groups_per_channel: int = 1
+    banks_per_group: int = 4
+    page_bytes: int = 2048
+    line_bytes: int = 64
+    rows_per_bank: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.physical_channels < 1:
+            raise ConfigError(
+                f"physical_channels must be >= 1, got {self.physical_channels}"
+            )
+        if self.gang < 1 or self.physical_channels % self.gang:
+            raise ConfigError(
+                f"gang {self.gang} must divide physical_channels "
+                f"{self.physical_channels}"
+            )
+        if self.groups_per_channel < 1 or self.banks_per_group < 1:
+            raise ConfigError("groups_per_channel and banks_per_group must be >= 1")
+        if self.page_bytes % self.line_bytes:
+            raise ConfigError(
+                f"page_bytes {self.page_bytes} must be a multiple of "
+                f"line_bytes {self.line_bytes}"
+            )
+        if self.rows_per_bank < 1:
+            raise ConfigError(f"rows_per_bank must be >= 1, got {self.rows_per_bank}")
+        banks = self.groups_per_channel * self.banks_per_group
+        if banks & (banks - 1):
+            raise ConfigError(
+                f"banks per channel must be a power of two for the XOR "
+                f"mapping, got {banks}"
+            )
+
+    @property
+    def logical_channels(self) -> int:
+        """Independent logical channels after ganging."""
+        return self.physical_channels // self.gang
+
+    @property
+    def banks_per_logical_channel(self) -> int:
+        """Independent banks per logical channel (unchanged by ganging)."""
+        return self.groups_per_channel * self.banks_per_group
+
+    @property
+    def total_banks(self) -> int:
+        """Independent banks across the whole system."""
+        return self.logical_channels * self.banks_per_logical_channel
+
+    @property
+    def effective_page_bytes(self) -> int:
+        """Row-buffer width of a logical channel (grows with ganging)."""
+        return self.page_bytes * self.gang
+
+    @property
+    def lines_per_page(self) -> int:
+        """Cache lines held by one logical-channel row buffer."""
+        return self.effective_page_bytes // self.line_bytes
+
+    def organization_name(self) -> str:
+        """Paper-style label, e.g. ``"8C-2G"`` (Figure 7)."""
+        return f"{self.physical_channels}C-{self.gang}G"
+
+
+def ddr_geometry(
+    physical_channels: int = 2, gang: int = 1, rows_per_bank: int = 8192
+) -> DRAMGeometry:
+    """DDR SDRAM organization: 1 lock-stepped group of 4-bank chips."""
+    return DRAMGeometry(
+        physical_channels=physical_channels,
+        gang=gang,
+        groups_per_channel=1,
+        banks_per_group=4,
+        page_bytes=2048,
+        rows_per_bank=rows_per_bank,
+    )
+
+
+def rdram_geometry(
+    physical_channels: int = 2,
+    gang: int = 1,
+    chips_per_channel: int = 4,
+    rows_per_bank: int = 2048,
+) -> DRAMGeometry:
+    """Direct Rambus organization: independent chips of 32 banks each."""
+    return DRAMGeometry(
+        physical_channels=physical_channels,
+        gang=gang,
+        groups_per_channel=chips_per_channel,
+        banks_per_group=32,
+        page_bytes=1024,
+        rows_per_bank=rows_per_bank,
+    )

@@ -1,0 +1,131 @@
+"""Address mapping schemes: line address -> (channel, bank, row).
+
+Section 5.4 of the paper compares two mappings:
+
+* **page** -- page interleaving: consecutive DRAM pages are assigned to
+  logical channels and then to banks round-robin, so sequential
+  streams spread across channels/banks while staying inside a page for
+  ``lines_per_page`` consecutive lines.
+* **XOR** -- the permutation-based scheme of Zhang, Zhu & Zhang
+  (MICRO 2000): the bank index is XOR-ed with low-order row bits so
+  that accesses which conflict on a bank under the page scheme are
+  spread over different banks, reducing row-buffer conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.common.errors import ConfigError
+from repro.dram.geometry import DRAMGeometry
+
+
+class MappedAddress(NamedTuple):
+    """Location of one cache line inside the memory system."""
+
+    channel: int
+    bank: int
+    row: int
+
+
+class AddressMapping:
+    """Base class: decompose a line address into channel/bank/row.
+
+    Subclasses override :meth:`_permute_bank`.  The base decomposition
+    is page interleaving:
+
+    ``line -> page = line // lines_per_page``;
+    ``channel = page mod C``; ``bank = (page // C) mod B``;
+    ``row = (page // (C*B)) mod rows``.
+    """
+
+    name = "base"
+
+    def __init__(self, geometry: DRAMGeometry) -> None:
+        self.geometry = geometry
+        self._channels = geometry.logical_channels
+        self._banks = geometry.banks_per_logical_channel
+        self._lines_per_page = geometry.lines_per_page
+        self._rows = geometry.rows_per_bank
+        if self._lines_per_page < 1:
+            raise ConfigError("page must hold at least one line")
+
+    def map_line(self, line_addr: int) -> MappedAddress:
+        """Map a cache-line address to its DRAM location."""
+        page = line_addr // self._lines_per_page
+        channel = page % self._channels
+        rest = page // self._channels
+        bank = rest % self._banks
+        row = (rest // self._banks) % self._rows
+        return MappedAddress(channel, self._permute_bank(bank, row, page), row)
+
+    def _permute_bank(self, bank: int, row: int, page: int) -> int:
+        raise NotImplementedError
+
+
+class PageInterleaveMapping(AddressMapping):
+    """Round-robin page interleaving (the paper's "page" scheme)."""
+
+    name = "page"
+
+    def _permute_bank(self, bank: int, row: int, page: int) -> int:
+        return bank
+
+
+class XorPageMapping(AddressMapping):
+    """Permutation-based interleaving (the paper's "XOR" scheme).
+
+    XORs the bank index with the low ``log2(banks)`` bits of the row
+    index -- a stand-in for the cache-set-index bits the hardware
+    scheme uses.  This is a bijection for any fixed row, so capacity
+    and bank balance are preserved.
+    """
+
+    name = "xor"
+
+    def _permute_bank(self, bank: int, row: int, page: int) -> int:
+        return bank ^ (row & (self._banks - 1))
+
+
+class ColorXorMapping(AddressMapping):
+    """XOR mapping extended with thread-color bits (an extension).
+
+    Section 5.4 observes that the XOR scheme is less effective under
+    SMT because row-buffer conflicts now come from *multiple threads*,
+    and suggests mapping research that considers them.  This mapping
+    folds the high address bits -- which distinguish the per-thread
+    address spaces under the bin-hopping allocation -- into the bank
+    permutation, so equal-offset accesses of different threads land on
+    different banks instead of colliding.
+
+    Not part of the paper's evaluation; used by the ablation benches.
+    """
+
+    name = "color-xor"
+
+    #: High address bits folded in (2^28 lines = the per-thread
+    #: address-space stride of the workload generator).
+    COLOR_SHIFT = 23
+
+    def _permute_bank(self, bank: int, row: int, page: int) -> int:
+        mask = self._banks - 1
+        color = (page >> self.COLOR_SHIFT) & mask
+        return bank ^ (row & mask) ^ color
+
+
+_MAPPINGS = {
+    "page": PageInterleaveMapping,
+    "xor": XorPageMapping,
+    "color-xor": ColorXorMapping,
+}
+
+
+def make_mapping(name: str, geometry: DRAMGeometry) -> AddressMapping:
+    """Construct a mapping scheme by name (``"page"`` or ``"xor"``)."""
+    try:
+        cls = _MAPPINGS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mapping {name!r}; available: {sorted(_MAPPINGS)}"
+        ) from None
+    return cls(geometry)

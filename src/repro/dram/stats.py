@@ -1,0 +1,122 @@
+"""Aggregated DRAM statistics.
+
+Collects exactly what the paper's evaluation reports:
+
+* row-buffer hit/miss rates (Figures 8/9),
+* the time-weighted distribution of outstanding requests while the
+  DRAM system is busy (Figure 4),
+* the time-weighted distribution of how many threads have requests
+  outstanding when multiple requests are present (Figure 5),
+* read/write counts and average read latency / queueing delay, used
+  throughout for sanity checks.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import RateCounter, TimeWeightedHistogram
+
+
+class DRAMStats:
+    """Mutable statistics bundle owned by a :class:`MemorySystem`."""
+
+    def __init__(self) -> None:
+        self.row_buffer = RateCounter()
+        self.reads = 0
+        self.writes = 0
+        self.read_latency_sum = 0
+        self.read_queue_delay_sum = 0
+        self.outstanding = TimeWeightedHistogram()
+        self.thread_concurrency = TimeWeightedHistogram()
+        self.served_per_thread: dict[int, int] = {}
+        self.read_latency_per_thread: dict[int, int] = {}
+        self.reads_per_thread: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def record_service(self, is_read: bool, row_hit: bool, thread_id: int) -> None:
+        """One request left the controller (data burst scheduled)."""
+        self.row_buffer.record(row_hit)
+        if is_read:
+            self.reads += 1
+        else:
+            self.writes += 1
+        self.served_per_thread[thread_id] = self.served_per_thread.get(thread_id, 0) + 1
+
+    def record_read_latency(
+        self, latency: int, queue_delay: int, thread_id: int = -1
+    ) -> None:
+        self.read_latency_sum += latency
+        self.read_queue_delay_sum += queue_delay
+        self.read_latency_per_thread[thread_id] = (
+            self.read_latency_per_thread.get(thread_id, 0) + latency
+        )
+        self.reads_per_thread[thread_id] = (
+            self.reads_per_thread.get(thread_id, 0) + 1
+        )
+
+    def avg_read_latency_for(self, thread_id: int) -> float:
+        """Mean read latency of one thread's requests, in CPU cycles."""
+        n = self.reads_per_thread.get(thread_id, 0)
+        if not n:
+            return 0.0
+        return self.read_latency_per_thread[thread_id] / n
+
+    # ------------------------------------------------------------------
+    # derived results
+
+    @property
+    def total_requests(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_buffer.rate
+
+    @property
+    def row_miss_rate(self) -> float:
+        return self.row_buffer.miss_rate
+
+    @property
+    def avg_read_latency(self) -> float:
+        """Mean arrival-to-data-return latency of reads, in CPU cycles."""
+        return self.read_latency_sum / self.reads if self.reads else 0.0
+
+    @property
+    def avg_read_queue_delay(self) -> float:
+        return self.read_queue_delay_sum / self.reads if self.reads else 0.0
+
+    def busy_outstanding_distribution(self) -> dict[int, float]:
+        """P(#outstanding = n | DRAM busy) -- the Figure 4 distribution.
+
+        The zero bin (idle time) is excluded and the rest renormalized.
+        """
+        raw = self.outstanding.as_dict()
+        raw.pop(0, None)
+        total = sum(raw.values())
+        if not total:
+            return {}
+        return {n: w / total for n, w in sorted(raw.items())}
+
+    def probability_outstanding_at_least(self, threshold: int) -> float:
+        """P(#outstanding >= threshold | DRAM busy)."""
+        dist = self.busy_outstanding_distribution()
+        return sum(p for n, p in dist.items() if n >= threshold)
+
+    def thread_concurrency_distribution(self) -> dict[int, float]:
+        """P(#threads with requests = t | >= 2 requests outstanding).
+
+        The Figure 5 distribution.  Time with fewer than two requests
+        outstanding is recorded in bin 0 and excluded here.
+        """
+        raw = self.thread_concurrency.as_dict()
+        raw.pop(0, None)
+        total = sum(raw.values())
+        if not total:
+            return {}
+        return {n: w / total for n, w in sorted(raw.items())}
+
+    def finish(self, now: int) -> None:
+        """Close the time-weighted collectors at the end of a run."""
+        self.outstanding.finish(now)
+        self.thread_concurrency.finish(now)

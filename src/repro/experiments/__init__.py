@@ -1,0 +1,29 @@
+"""Experiment harness: configurations, runners, and per-figure drivers.
+
+* :mod:`repro.experiments.config` -- :class:`SystemConfig`, one object
+  describing a complete simulated system (Table 1 defaults).
+* :mod:`repro.experiments.runner` -- build-and-run plumbing with
+  caching of single-thread baselines for weighted-speedup metrics.
+* :mod:`repro.experiments.figures` -- one driver per paper figure
+  (``figure1()`` ... ``figure10()``), each returning structured rows
+  and able to print a paper-style table.
+"""
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    MixResult,
+    Runner,
+    run_mix,
+    run_single,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "MixResult",
+    "Runner",
+    "SystemConfig",
+    "run_experiment",
+    "run_mix",
+    "run_single",
+]

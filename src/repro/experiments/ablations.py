@@ -1,0 +1,263 @@
+"""Ablation studies beyond the paper's figures.
+
+DESIGN.md documents several modelling choices; each ablation quantifies
+one of them so users can see what the choice costs or buys:
+
+* :func:`page_mode_ablation` -- open vs close page mode (Section 2
+  describes both; the paper evaluates open page).
+* :func:`mshr_ablation` -- MSHR capacity vs performance (DESIGN.md's
+  combined-32-entry substitution).
+* :func:`scheduler_mapping_ablation` -- do access scheduling and the
+  XOR mapping compose?
+* :func:`color_mapping_ablation` -- the thread-color mapping extension
+  (Section 5.4 suggests mapping research that considers inter-thread
+  conflicts).
+* :func:`critical_scheduler_ablation` -- the criticality-based policy
+  of Section 3.1 against the paper's evaluated schemes.
+
+All return :class:`~repro.experiments.figures.ExperimentResult` so the
+same rendering/export paths apply.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.figures import ExperimentResult, _mix_names
+from repro.experiments.runner import Runner
+from repro.workloads.mixes import MIXES
+
+_DEFAULT_MIXES = ("2-MEM", "4-MEM")
+
+
+def page_mode_ablation(
+    config: SystemConfig | None = None,
+    runner: Runner | None = None,
+    mixes: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """Open vs close page mode: WS and row-buffer miss rates."""
+    config = config or SystemConfig()
+    runner = runner or Runner()
+    names = _mix_names(mixes, _DEFAULT_MIXES)
+    rows = []
+    for mix_name in names:
+        mix = MIXES[mix_name]
+        values = []
+        for mode in ("open", "close"):
+            cfg = config.with_(page_mode=mode)
+            result = runner.run_mix(cfg, mix)
+            values.append(runner.weighted_speedup(cfg, mix, result))
+        rows.append((mix_name, *values))
+    return ExperimentResult(
+        name="Ablation: page mode",
+        description="weighted speedup under open vs close page modes",
+        headers=["mix", "open", "close"],
+        rows=rows,
+        notes="Open page exploits row-buffer locality; close page "
+        "removes the precharge from the conflict path.",
+    )
+
+
+def mshr_ablation(
+    config: SystemConfig | None = None,
+    runner: Runner | None = None,
+    mixes: Sequence[str] | None = None,
+    capacities: Sequence[int] = (4, 16, 32, 64),
+) -> ExperimentResult:
+    """Performance vs MSHR capacity (memory-level-parallelism cap)."""
+    config = config or SystemConfig()
+    runner = runner or Runner()
+    names = _mix_names(mixes, _DEFAULT_MIXES)
+    rows = []
+    for mix_name in names:
+        mix = MIXES[mix_name]
+        # Throughput, not weighted speedup: the WS baselines would
+        # shift with the MSHR count and cancel the effect under study.
+        values = [
+            runner.run_mix(config.with_(mshr_entries=n), mix).throughput
+            for n in capacities
+        ]
+        rows.append((mix_name, *values))
+    return ExperimentResult(
+        name="Ablation: MSHR capacity",
+        description="aggregate IPC vs outstanding-miss capacity",
+        headers=["mix", *(f"mshr={n}" for n in capacities)],
+        rows=rows,
+        notes="Throughput should rise with capacity and saturate; "
+        "see DESIGN.md on the combined 32-entry default.",
+    )
+
+
+def scheduler_mapping_ablation(
+    config: SystemConfig | None = None,
+    runner: Runner | None = None,
+    mixes: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """Interaction grid: {fcfs, hit-first} x {page, xor}."""
+    config = config or SystemConfig()
+    runner = runner or Runner()
+    names = _mix_names(mixes, _DEFAULT_MIXES)
+    combos = [
+        (scheduler, mapping)
+        for scheduler in ("fcfs", "hit-first")
+        for mapping in ("page", "xor")
+    ]
+    rows = []
+    for mix_name in names:
+        mix = MIXES[mix_name]
+        values = []
+        for scheduler, mapping in combos:
+            cfg = config.with_(scheduler=scheduler, mapping=mapping)
+            values.append(runner.weighted_speedup(cfg, mix))
+        rows.append((mix_name, *values))
+    return ExperimentResult(
+        name="Ablation: scheduler x mapping",
+        description="weighted speedup for scheduler/mapping combinations",
+        headers=["mix", *(f"{s}+{m}" for s, m in combos)],
+        rows=rows,
+        notes="Hit-first exploits the locality the XOR mapping "
+        "preserves; the combination should be at least as good as "
+        "either alone.",
+    )
+
+
+def color_mapping_ablation(
+    config: SystemConfig | None = None,
+    runner: Runner | None = None,
+    mixes: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """Row-buffer miss rates of page / xor / color-xor mappings."""
+    config = config or SystemConfig()
+    runner = runner or Runner()
+    names = _mix_names(mixes, ("4-MEM", "8-MEM"))
+    rows = []
+    for mix_name in names:
+        mix = MIXES[mix_name]
+        values = []
+        for mapping in ("page", "xor", "color-xor"):
+            result = runner.run_mix(config.with_(mapping=mapping), mix)
+            values.append(f"{100 * result.row_buffer_miss_rate:.1f}%")
+        rows.append((mix_name, *values))
+    return ExperimentResult(
+        name="Ablation: thread-color mapping",
+        description="row-buffer miss rates; color-xor folds thread bits "
+        "into the bank permutation (extension)",
+        headers=["mix", "page", "xor", "color-xor"],
+        rows=rows,
+        notes="Section 5.4 calls for mappings that consider conflicts "
+        "from multiple threads; color-xor is one such candidate.",
+    )
+
+
+def vm_policy_ablation(
+    config: SystemConfig | None = None,
+    runner: Runner | None = None,
+    mixes: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """OS page-allocation policies (Section 5.4's suggested direction).
+
+    Compares the generator's native disjoint address spaces ("none")
+    with real translation layers: bin hopping (what the paper's
+    simulation uses), page coloring (banks partitioned between
+    threads), and random allocation.  Reports row-buffer miss rate and
+    weighted speedup.
+    """
+    config = config or SystemConfig()
+    runner = runner or Runner()
+    names = _mix_names(mixes, ("4-MEM",))
+    policies = ("none", "bin-hopping", "page-coloring", "random")
+    rows = []
+    for mix_name in names:
+        mix = MIXES[mix_name]
+        values = []
+        for policy in policies:
+            cfg = config.with_(vm_policy=policy)
+            result = runner.run_mix(cfg, mix)
+            ws = runner.weighted_speedup(cfg, mix, result)
+            values.append(
+                f"{ws:.3f}/{100 * result.row_buffer_miss_rate:.0f}%"
+            )
+        rows.append((mix_name, *values))
+    return ExperimentResult(
+        name="Ablation: VM page allocation",
+        description="WS / row-buffer miss rate per allocation policy",
+        headers=["mix", *policies],
+        rows=rows,
+        notes="Page coloring partitions DRAM banks between threads; "
+        "Section 5.4 suggests exactly this direction for reducing "
+        "inter-thread row conflicts.",
+    )
+
+
+def critical_scheduler_ablation(
+    config: SystemConfig | None = None,
+    runner: Runner | None = None,
+    mixes: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """The criticality-based policy against the paper's schemes."""
+    config = config or SystemConfig()
+    runner = runner or Runner()
+    names = _mix_names(mixes, _DEFAULT_MIXES)
+    schedulers = ("fcfs", "hit-first", "request-based", "critical-first")
+    rows = []
+    for mix_name in names:
+        mix = MIXES[mix_name]
+        speedups = [
+            runner.weighted_speedup(config.with_(scheduler=s), mix)
+            for s in schedulers
+        ]
+        base = speedups[0] or 1.0
+        rows.append((mix_name, *(v / base for v in speedups)))
+    return ExperimentResult(
+        name="Ablation: criticality-based scheduling",
+        description="WS normalized to FCFS, including the Section 3.1 "
+        "criticality policy (extension)",
+        headers=["mix", *schedulers],
+        rows=rows,
+    )
+
+
+def prefetch_ablation(
+    config: SystemConfig | None = None,
+    runner: Runner | None = None,
+    mixes: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """The Table 1 stride prefetcher on vs off.
+
+    Streaming-heavy MEM mixes (swim/lucas in 4-MEM) should benefit;
+    pointer-chasing traffic (mcf) has no stride to learn.
+    """
+    config = config or SystemConfig()
+    runner = runner or Runner()
+    names = _mix_names(mixes, ("4-MEM", "2-MIX"))
+    rows = []
+    for mix_name in names:
+        mix = MIXES[mix_name]
+        values = []
+        for enabled in (False, True):
+            cfg = config.with_(prefetch=enabled)
+            result = runner.run_mix(cfg, mix)
+            values.append(
+                f"{result.throughput:.3f}"
+                + (f" ({result.hierarchy.prefetch_fills} fills)"
+                   if enabled else "")
+            )
+        rows.append((mix_name, *values))
+    return ExperimentResult(
+        name="Ablation: stride prefetcher",
+        description="aggregate IPC without/with the Table 1 prefetcher",
+        headers=["mix", "off", "on"],
+        rows=rows,
+    )
+
+
+ABLATIONS = {
+    "abl-page-mode": page_mode_ablation,
+    "abl-mshr": mshr_ablation,
+    "abl-sched-mapping": scheduler_mapping_ablation,
+    "abl-color-mapping": color_mapping_ablation,
+    "abl-critical": critical_scheduler_ablation,
+    "abl-vm-policy": vm_policy_ablation,
+    "abl-prefetch": prefetch_ablation,
+}

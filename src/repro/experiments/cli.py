@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Examples
+--------
+Run one figure at the default (paper Table 1) configuration::
+
+    python -m repro fig6
+
+Run quickly at a reduced instruction budget, on a subset of mixes::
+
+    python -m repro fig10 --instructions 3000 --mixes 2-MEM 4-MEM
+
+Run a single mix and print raw statistics::
+
+    python -m repro mix 4-MEM --scheduler request-based
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.config import SystemConfig
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.runner import Runner, run_mix
+from repro.workloads.mixes import MIXES, all_mix_names
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--instructions", type=int, default=None,
+        help="measured instructions per thread (default: config default)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="warm-up instructions per thread",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument(
+        "--scale", type=int, default=None,
+        help="cache/footprint scale divisor (default 8)",
+    )
+    parser.add_argument(
+        "--scheduler", default=None,
+        help="DRAM scheduler (fcfs, read-first, hit-first, age-based, "
+        "request-based, rob-based, iq-based, critical-first)",
+    )
+    parser.add_argument(
+        "--fetch-policy", default=None,
+        help="fetch policy (round-robin, icount, stall, dg, dwarn)",
+    )
+    parser.add_argument("--channels", type=int, default=None)
+    parser.add_argument("--gang", type=int, default=None)
+    parser.add_argument("--dram", choices=("ddr", "rdram"), default=None)
+    parser.add_argument(
+        "--mapping", choices=("page", "xor", "color-xor"), default=None
+    )
+    parser.add_argument("--page-mode", choices=("open", "close"), default=None)
+    parser.add_argument(
+        "--controller", choices=("request", "command"), default=None,
+        help="DRAM controller model (request-level or command-level)",
+    )
+    parser.add_argument(
+        "--vm", choices=("none", "bin-hopping", "page-coloring", "random"),
+        default=None, help="virtual-memory page allocation policy",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> SystemConfig:
+    overrides = {}
+    mapping = {
+        "instructions": "instructions_per_thread",
+        "warmup": "warmup_instructions",
+        "seed": "seed",
+        "scale": "scale",
+        "scheduler": "scheduler",
+        "fetch_policy": "fetch_policy",
+        "channels": "channels",
+        "gang": "gang",
+        "dram": "dram_type",
+        "mapping": "mapping",
+        "page_mode": "page_mode",
+        "controller": "controller_model",
+        "vm": "vm_policy",
+    }
+    for arg_name, field_name in mapping.items():
+        value = getattr(args, arg_name, None)
+        if value is not None:
+            overrides[field_name] = value
+    return SystemConfig(**overrides)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-smt-dram",
+        description="Reproduction of Zhu & Zhang, 'A Performance Comparison "
+        "of DRAM Memory System Optimizations for SMT Processors' (HPCA 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn in {**EXPERIMENTS, **ABLATIONS}.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        p = sub.add_parser(name, help=doc)
+        _add_config_arguments(p)
+        p.add_argument(
+            "--mixes", nargs="+", default=None,
+            help=f"subset of workload mixes ({', '.join(all_mix_names())})",
+        )
+        p.add_argument(
+            "--csv", default=None, metavar="PATH",
+            help="also write the result rows as CSV",
+        )
+
+    p = sub.add_parser("mix", help="run one workload mix and print statistics")
+    p.add_argument("mix_name", choices=all_mix_names())
+    _add_config_arguments(p)
+
+    p = sub.add_parser("all", help="run every figure (full evaluation)")
+    _add_config_arguments(p)
+    p.add_argument("--mixes", nargs="+", default=None)
+
+    p = sub.add_parser(
+        "report",
+        help="run experiments and write a markdown report",
+    )
+    _add_config_arguments(p)
+    p.add_argument("--out", default="report.md", help="output path")
+    p.add_argument(
+        "--experiments", nargs="+", default=None,
+        help="subset of experiment names (default: all figures)",
+    )
+    p.add_argument(
+        "--ablations", action="store_true",
+        help="include the ablation studies",
+    )
+
+    sub.add_parser("list", help="list experiments and workload mixes")
+    return parser
+
+
+def _run_figures(names: list[str], args: argparse.Namespace) -> None:
+    config = _config_from_args(args)
+    runner = Runner()
+    for name in names:
+        start = time.time()
+        kwargs = {"config": config, "runner": runner}
+        if getattr(args, "mixes", None) and name != "fig1":
+            kwargs["mixes"] = args.mixes
+        if name in ABLATIONS:
+            result = ABLATIONS[name](**kwargs)
+        else:
+            result = run_experiment(name, **kwargs)
+        print(result.render())
+        csv_path = getattr(args, "csv", None)
+        if csv_path:
+            result.save_csv(csv_path)
+            print(f"[rows written to {csv_path}]")
+        print(f"[{name} completed in {time.time() - start:.1f}s]")
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("experiments:")
+        for name, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<8} {doc}")
+        print("\nablations:")
+        for name, fn in ABLATIONS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<18} {doc}")
+        print("\nworkload mixes (Table 2):")
+        for name in all_mix_names():
+            print(f"  {name:<6} {', '.join(MIXES[name].apps)}")
+        return 0
+    if args.command == "mix":
+        config = _config_from_args(args)
+        result = run_mix(config, MIXES[args.mix_name].apps)
+        print(result.core)
+        if result.dram is not None:
+            stats = result.dram
+            print(
+                f"DRAM: {stats.reads} reads, {stats.writes} writes, "
+                f"row-buffer hit rate {stats.row_hit_rate:.1%}, "
+                f"avg read latency {stats.avg_read_latency:.0f} cycles"
+            )
+        h = result.hierarchy
+        print(
+            f"caches: L1D {h.l1d_hit_rate:.1%}, L2 {h.l2_hit_rate:.1%}, "
+            f"L3 {h.l3_hit_rate:.1%} hit rates"
+        )
+        stalls = result.core.stall_cycles
+        if stalls:
+            total = sum(stalls.values())
+            denominator = max(1, result.core.cycles * len(result.apps))
+            detail = ", ".join(
+                f"{k}={v}" for k, v in stalls.items() if v
+            ) or "none"
+            print(
+                f"front-end stalls: {min(1.0, total / denominator):.1%} "
+                f"of thread-cycles ({detail})"
+            )
+        print(
+            f"issue coverage: {result.core.int_issue_coverage:.1%} of "
+            f"cycles issued an integer op"
+        )
+        return 0
+    if args.command == "all":
+        _run_figures(list(EXPERIMENTS), args)
+        return 0
+    if args.command == "report":
+        from repro.experiments.reportgen import generate_report
+
+        text = generate_report(
+            config=_config_from_args(args),
+            experiments=args.experiments,
+            include_ablations=args.ablations,
+            progress=lambda name: print(f"running {name}..."),
+        )
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+        return 0
+    _run_figures([args.command], args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

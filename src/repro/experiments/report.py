@@ -1,0 +1,90 @@
+"""Plain-text table rendering for experiment results.
+
+Every figure driver returns structured rows; these helpers turn them
+into aligned text tables (and simple ASCII bar charts) so the bench
+harness can print output comparable to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(format(value, floatfmt))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+        )
+    return "\n".join(lines)
+
+
+def format_bars(
+    data: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render a label -> value mapping as an ASCII bar chart."""
+    if not data:
+        return "(no data)"
+    peak = max(data.values()) or 1.0
+    label_w = max(len(k) for k in data)
+    lines = [title] if title else []
+    for label, value in data.items():
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(
+            f"{label:<{label_w}}  {format(value, floatfmt):>8}{unit} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 30,
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render {group: {series: value}} as grouped ASCII bars."""
+    if not groups:
+        return "(no data)"
+    peak = max(
+        (v for series in groups.values() for v in series.values()), default=1.0
+    ) or 1.0
+    series_w = max(
+        (len(s) for series in groups.values() for s in series), default=1
+    )
+    lines = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            bar = "#" * max(0, int(round(width * value / peak)))
+            lines.append(
+                f"  {name:<{series_w}}  {format(value, floatfmt):>8} {bar}"
+            )
+    return "\n".join(lines)

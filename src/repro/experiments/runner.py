@@ -1,0 +1,201 @@
+"""Build-and-run plumbing for experiments.
+
+A :class:`Runner` turns a :class:`~repro.experiments.config.SystemConfig`
+plus a list of application names into a complete simulated system
+(workload streams -> SMT core -> cache hierarchy -> DRAM), runs it,
+and returns a :class:`MixResult`.  Single-thread baseline runs (needed
+by the weighted-speedup metric) are cached per configuration, since
+every figure reuses them across many multiprogrammed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.events import EventQueue
+from repro.common.rng import child_rng
+from repro.cache.hierarchy import HierarchySnapshot, MemoryHierarchy
+from repro.cache.prewarm import prewarm
+from repro.cpu.core import SMTCore
+from repro.cpu.stats import CoreResult
+from repro.dram.stats import DRAMStats
+from repro.dram.system import MemorySystem
+from repro.experiments.config import SystemConfig
+from repro.os.vm import VirtualMemory
+from repro.metrics.speedup import weighted_speedup
+from repro.workloads.generator import SyntheticStream
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.spec2000 import get_profile
+
+
+@dataclass
+class MixResult:
+    """Everything measured from one multiprogrammed run."""
+
+    config: SystemConfig
+    apps: tuple[str, ...]
+    core: CoreResult
+    dram: DRAMStats | None
+    hierarchy: HierarchySnapshot
+
+    @property
+    def ipcs(self) -> list[float]:
+        return [t.ipc for t in self.core.threads]
+
+    @property
+    def throughput(self) -> float:
+        return self.core.throughput_ipc
+
+    @property
+    def row_buffer_miss_rate(self) -> float:
+        return self.dram.row_miss_rate if self.dram is not None else 0.0
+
+    @property
+    def dram_accesses_per_100_instructions(self) -> float:
+        total = self.core.total_committed
+        if not total or self.dram is None:
+            return 0.0
+        reads = sum(t.dram_accesses for t in self.core.threads)
+        return 100.0 * reads / total
+
+
+def build_system(
+    config: SystemConfig, apps: Sequence[str]
+) -> tuple[SMTCore, MemorySystem | None, MemoryHierarchy]:
+    """Construct (but do not run) a full system for the given apps."""
+    event_queue = EventQueue()
+    if config.perfect_l3:
+        memory = None
+    elif config.dram_type == "ddr":
+        memory = MemorySystem.ddr(
+            event_queue,
+            channels=config.channels,
+            gang=config.gang,
+            mapping=config.mapping,
+            page_mode=config.page_mode_enum,
+            scheduler=config.scheduler,
+            controller_model=config.controller_model,
+        )
+    else:
+        memory = MemorySystem.rdram(
+            event_queue,
+            channels=config.channels,
+            gang=config.gang,
+            mapping=config.mapping,
+            page_mode=config.page_mode_enum,
+            scheduler=config.scheduler,
+            controller_model=config.controller_model,
+        )
+    translator = None
+    if config.vm_policy != "none":
+        translator = VirtualMemory(
+            policy=config.vm_policy,
+            colors=config.channels * 4,  # one color per DDR bank
+            num_threads=max(1, len(apps)),
+            rng=child_rng(config.seed, "vm"),
+        )
+    hierarchy = MemoryHierarchy(
+        config.hierarchy_params(), event_queue, memory, translator=translator
+    )
+    workloads = []
+    icache_rngs = []
+    for i, app in enumerate(apps):
+        stream = SyntheticStream(
+            get_profile(app),
+            child_rng(config.seed, f"stream:{app}:{i}"),
+            thread_id=i,
+            scale=config.scale,
+        )
+        workloads.append((app, stream))
+        icache_rngs.append(child_rng(config.seed, f"icache:{app}:{i}"))
+    core = SMTCore(
+        config.core,
+        event_queue,
+        hierarchy,
+        config.fetch_policy,
+        workloads,
+        icache_rngs,
+    )
+    prewarm(hierarchy, [stream.footprint() for _, stream in workloads])
+    return core, memory, hierarchy
+
+
+def run_mix(config: SystemConfig, apps: Sequence[str]) -> MixResult:
+    """Build and run one multiprogrammed mix to completion."""
+    core, memory, hierarchy = build_system(config, apps)
+    result = core.run(
+        config.instructions_per_thread,
+        warmup_instructions=config.warmup_instructions,
+        max_cycles=config.max_cycles,
+    )
+    dram_stats = memory.finish() if memory is not None else None
+    return MixResult(
+        config=config,
+        apps=tuple(apps),
+        core=result,
+        dram=dram_stats,
+        hierarchy=hierarchy.snapshot(),
+    )
+
+
+def run_single(config: SystemConfig, app: str) -> MixResult:
+    """Run one application alone on the given configuration."""
+    return run_mix(config, [app])
+
+
+class Runner:
+    """Caching front-end for experiment drivers.
+
+    Multi-programmed runs are never cached (each figure varies the
+    interesting parameters); single-thread baselines are, keyed by
+    (config identity, app).
+
+    ``baseline_multiplier`` stretches the instruction budget of
+    single-thread baseline runs: weighted speedup divides by the
+    baseline IPC, so baseline sampling noise amplifies through every
+    WS number; longer (cached, cheap) baselines damp it.
+    """
+
+    def __init__(self, baseline_multiplier: int = 3) -> None:
+        if baseline_multiplier < 1:
+            raise ValueError("baseline_multiplier must be >= 1")
+        self.baseline_multiplier = baseline_multiplier
+        self._single_cache: dict[tuple, MixResult] = {}
+
+    def run_mix(self, config: SystemConfig, mix: WorkloadMix | Sequence[str]) -> MixResult:
+        apps = mix.apps if isinstance(mix, WorkloadMix) else tuple(mix)
+        return run_mix(config, apps)
+
+    def single(self, config: SystemConfig, app: str) -> MixResult:
+        config = config.with_(
+            instructions_per_thread=(
+                config.instructions_per_thread * self.baseline_multiplier
+            )
+        )
+        key = (config.cache_key(), app)
+        result = self._single_cache.get(key)
+        if result is None:
+            result = run_single(config, app)
+            self._single_cache[key] = result
+        return result
+
+    def single_ipc(self, config: SystemConfig, app: str) -> float:
+        return self.single(config, app).core.threads[0].ipc
+
+    def weighted_speedup(
+        self,
+        config: SystemConfig,
+        mix: WorkloadMix | Sequence[str],
+        mix_result: MixResult | None = None,
+    ) -> float:
+        """Weighted speedup of a mix against single-thread baselines.
+
+        ``sum_i IPC_multi[i] / IPC_single[i]`` (Tullsen & Brown); the
+        single-thread baselines run on the *same* configuration.
+        """
+        apps = mix.apps if isinstance(mix, WorkloadMix) else tuple(mix)
+        if mix_result is None:
+            mix_result = self.run_mix(config, apps)
+        singles = [self.single_ipc(config, app) for app in apps]
+        return weighted_speedup(mix_result.ipcs, singles)

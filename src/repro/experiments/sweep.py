@@ -1,0 +1,156 @@
+"""Generic parameter sweeps over :class:`SystemConfig` fields.
+
+The figure drivers cover the paper's evaluation; this module is the
+general tool behind them for exploring *other* points: build a grid of
+configurations from named axes, run a workload on each, and collect
+any set of measurements into rows ready for
+:func:`repro.experiments.report.format_table` or CSV export.
+
+Example
+-------
+>>> from repro.experiments.sweep import Sweep           # doctest: +SKIP
+>>> sweep = Sweep(base_config, axes={
+...     "channels": [2, 4, 8],
+...     "scheduler": ["fcfs", "request-based"],
+... })
+>>> rows = sweep.run(["mcf", "ammp"], metrics={
+...     "ws": lambda r, ctx: ctx.weighted_speedup(r),
+...     "row_miss": lambda r, ctx: r.row_buffer_miss_rate,
+... })
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.common.errors import ConfigError
+from repro.experiments.config import SystemConfig
+from repro.experiments.runner import MixResult, Runner
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated grid point."""
+
+    overrides: dict
+    config: SystemConfig
+    result: MixResult
+    metrics: dict = field(default_factory=dict)
+
+    def as_row(self, axis_names: Sequence[str]) -> tuple:
+        return tuple(
+            [self.overrides[name] for name in axis_names]
+            + list(self.metrics.values())
+        )
+
+
+class _MetricContext:
+    """Handed to metric callables so they can reach shared baselines."""
+
+    def __init__(self, runner: Runner, config: SystemConfig, apps):
+        self.runner = runner
+        self.config = config
+        self.apps = tuple(apps)
+
+    def weighted_speedup(self, result: MixResult) -> float:
+        return self.runner.weighted_speedup(self.config, self.apps, result)
+
+
+MetricFn = Callable[[MixResult, _MetricContext], float]
+
+
+class Sweep:
+    """Cartesian-product sweep over config fields.
+
+    Parameters
+    ----------
+    base_config:
+        Starting configuration; each grid point replaces the axis
+        fields via :meth:`SystemConfig.with_`.
+    axes:
+        Mapping of field name -> list of values.  Field names must be
+        valid ``SystemConfig`` fields (checked eagerly).
+    runner:
+        Optional shared :class:`Runner` (reuses cached single-thread
+        baselines across points).
+    """
+
+    def __init__(
+        self,
+        base_config: SystemConfig,
+        axes: Mapping[str, Sequence],
+        runner: Runner | None = None,
+    ) -> None:
+        if not axes:
+            raise ConfigError("at least one sweep axis is required")
+        valid_fields = set(SystemConfig.__dataclass_fields__)
+        for name, values in axes.items():
+            if name not in valid_fields:
+                raise ConfigError(
+                    f"unknown SystemConfig field {name!r}; "
+                    f"valid: {sorted(valid_fields)}"
+                )
+            if not values:
+                raise ConfigError(f"axis {name!r} has no values")
+        self.base_config = base_config
+        self.axes = {name: list(values) for name, values in axes.items()}
+        self.runner = runner or Runner()
+
+    @property
+    def axis_names(self) -> list[str]:
+        return list(self.axes)
+
+    def grid(self) -> list[dict]:
+        """All override combinations, in deterministic axis order."""
+        names = self.axis_names
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*self.axes.values())
+        ]
+
+    def run(
+        self,
+        apps: Sequence[str],
+        metrics: Mapping[str, MetricFn] | None = None,
+    ) -> list[SweepPoint]:
+        """Run the workload at every grid point and collect metrics.
+
+        Without ``metrics``, each point records weighted speedup and
+        throughput.
+        """
+        if metrics is None:
+            metrics = {
+                "weighted_speedup": lambda r, ctx: ctx.weighted_speedup(r),
+                "throughput": lambda r, ctx: r.throughput,
+            }
+        points = []
+        for overrides in self.grid():
+            config = self.base_config.with_(**overrides)
+            result = self.runner.run_mix(config, apps)
+            context = _MetricContext(self.runner, config, apps)
+            values = {
+                name: fn(result, context) for name, fn in metrics.items()
+            }
+            points.append(
+                SweepPoint(
+                    overrides=overrides,
+                    config=config,
+                    result=result,
+                    metrics=values,
+                )
+            )
+        return points
+
+    def table(
+        self,
+        apps: Sequence[str],
+        metrics: Mapping[str, MetricFn] | None = None,
+    ) -> tuple[list[str], list[tuple]]:
+        """Run the sweep and return (headers, rows) for reporting."""
+        points = self.run(apps, metrics)
+        metric_names = list(points[0].metrics) if points else []
+        headers = self.axis_names + metric_names
+        rows = [point.as_row(self.axis_names) for point in points]
+        return headers, rows

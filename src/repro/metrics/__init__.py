@@ -1,0 +1,47 @@
+"""SMT performance metrics and result post-processing.
+
+* :mod:`repro.metrics.speedup` -- weighted speedup (the paper's
+  headline metric, following Tullsen & Brown), harmonic mean of
+  relative IPCs (Luo et al.), and raw throughput.
+* :mod:`repro.metrics.breakdown` -- the CPI-breakdown methodology of
+  Section 4.2 (CPI_proc / CPI_L2 / CPI_L3 / CPI_mem).
+* :mod:`repro.metrics.concurrency` -- bucketing helpers for the
+  Figure 4/5 concurrency distributions.
+"""
+
+from repro.metrics.breakdown import CpiBreakdown, cpi_breakdown
+from repro.metrics.fairness import fairness_index, max_slowdown, slowdowns
+from repro.metrics.concurrency import (
+    OUTSTANDING_BUCKETS,
+    bucket_outstanding,
+    bucket_thread_counts,
+)
+from repro.metrics.timeline import (
+    aggregate_interval_ipcs,
+    burstiness,
+    interval_ipcs,
+)
+from repro.metrics.speedup import (
+    harmonic_mean_speedup,
+    relative_ipcs,
+    throughput,
+    weighted_speedup,
+)
+
+__all__ = [
+    "CpiBreakdown",
+    "OUTSTANDING_BUCKETS",
+    "bucket_outstanding",
+    "bucket_thread_counts",
+    "cpi_breakdown",
+    "fairness_index",
+    "max_slowdown",
+    "slowdowns",
+    "aggregate_interval_ipcs",
+    "burstiness",
+    "interval_ipcs",
+    "harmonic_mean_speedup",
+    "relative_ipcs",
+    "throughput",
+    "weighted_speedup",
+]

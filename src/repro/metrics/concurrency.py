@@ -1,0 +1,42 @@
+"""Bucketing helpers for the Figure 4/5 concurrency distributions."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: The paper's Figure 4 x-axis groups (outstanding requests while busy).
+OUTSTANDING_BUCKETS = (1, 2, 4, 8, 16)
+
+
+def bucket_outstanding(
+    distribution: Mapping[int, float],
+    edges: tuple[int, ...] = OUTSTANDING_BUCKETS,
+) -> dict[str, float]:
+    """Group P(#outstanding = n | busy) into labelled ranges.
+
+    ``distribution`` comes from
+    :meth:`repro.dram.stats.DRAMStats.busy_outstanding_distribution`.
+    """
+    labels = []
+    for i, lo in enumerate(edges):
+        if i + 1 < len(edges):
+            hi = edges[i + 1] - 1
+            labels.append(str(lo) if hi == lo else f"{lo}-{hi}")
+        else:
+            labels.append(f"{lo}+")
+    out = {label: 0.0 for label in labels}
+    for n, p in distribution.items():
+        for i in range(len(edges) - 1, -1, -1):
+            if n >= edges[i]:
+                out[labels[i]] += p
+                break
+    return out
+
+
+def bucket_thread_counts(
+    distribution: Mapping[int, float], num_threads: int
+) -> dict[str, float]:
+    """P(#threads issuing = t | multiple requests), one bin per count."""
+    return {
+        str(t): distribution.get(t, 0.0) for t in range(1, num_threads + 1)
+    }

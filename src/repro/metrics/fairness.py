@@ -1,0 +1,42 @@
+"""Fairness views over per-thread relative performance.
+
+The paper reports weighted speedup; related SMT literature (Luo et
+al., cited in Section 4.2) also tracks *fairness* -- whether
+co-scheduled threads slow down evenly.  These helpers quantify that
+for any run, complementing :mod:`repro.metrics.speedup`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metrics.speedup import relative_ipcs
+
+
+def fairness_index(
+    multi_ipcs: Sequence[float], single_ipcs: Sequence[float]
+) -> float:
+    """Min/max ratio of relative IPCs: 1.0 = perfectly even slowdown.
+
+    0.0 when some thread made no progress.
+    """
+    rel = relative_ipcs(multi_ipcs, single_ipcs)
+    peak = max(rel)
+    if peak == 0:
+        return 0.0
+    return min(rel) / peak
+
+
+def slowdowns(
+    multi_ipcs: Sequence[float], single_ipcs: Sequence[float]
+) -> list[float]:
+    """Per-thread slowdown factors (single / multi); inf if stalled."""
+    rel = relative_ipcs(multi_ipcs, single_ipcs)
+    return [1.0 / r if r > 0 else float("inf") for r in rel]
+
+
+def max_slowdown(
+    multi_ipcs: Sequence[float], single_ipcs: Sequence[float]
+) -> float:
+    """Worst per-thread slowdown (the victim thread's penalty)."""
+    return max(slowdowns(multi_ipcs, single_ipcs))

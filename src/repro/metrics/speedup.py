@@ -1,0 +1,59 @@
+"""SMT throughput metrics.
+
+The paper follows Tullsen & Brown and reports *weighted speedup*:
+
+    WS = sum_i  IPC_multi[i] / IPC_single[i]
+
+where ``IPC_single[i]`` is thread *i*'s IPC running alone on the same
+machine.  An ideal n-thread SMT would reach WS = n; WS = 1 means the
+machine delivers one thread's worth of aggregate progress.  The
+harmonic-mean variant (Luo et al.) additionally rewards fairness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def relative_ipcs(
+    multi_ipcs: Sequence[float], single_ipcs: Sequence[float]
+) -> list[float]:
+    """Per-thread IPC relative to its single-thread baseline."""
+    if len(multi_ipcs) != len(single_ipcs):
+        raise ValueError(
+            f"length mismatch: {len(multi_ipcs)} multi vs "
+            f"{len(single_ipcs)} single IPCs"
+        )
+    if not multi_ipcs:
+        raise ValueError("at least one thread is required")
+    rel = []
+    for multi, single in zip(multi_ipcs, single_ipcs):
+        if single <= 0:
+            raise ValueError(f"single-thread IPC must be positive, got {single}")
+        rel.append(multi / single)
+    return rel
+
+
+def weighted_speedup(
+    multi_ipcs: Sequence[float], single_ipcs: Sequence[float]
+) -> float:
+    """Tullsen & Brown weighted speedup (sum of relative IPCs)."""
+    return sum(relative_ipcs(multi_ipcs, single_ipcs))
+
+
+def harmonic_mean_speedup(
+    multi_ipcs: Sequence[float], single_ipcs: Sequence[float]
+) -> float:
+    """Harmonic mean of relative IPCs (fairness-sensitive; Luo et al.).
+
+    Returns 0.0 if any thread made no progress.
+    """
+    rel = relative_ipcs(multi_ipcs, single_ipcs)
+    if any(r == 0 for r in rel):
+        return 0.0
+    return len(rel) / sum(1.0 / r for r in rel)
+
+
+def throughput(multi_ipcs: Sequence[float]) -> float:
+    """Plain aggregate IPC."""
+    return sum(multi_ipcs)

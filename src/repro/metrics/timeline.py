@@ -1,0 +1,59 @@
+"""Timeline post-processing: interval IPC series from core samples.
+
+Enable sampling with ``CoreParams(sample_interval=N)``; the core then
+records ``(cycle, committed-per-thread)`` every ~N cycles in
+``SMTCore.timeline``.  These helpers turn the cumulative samples into
+per-interval IPC series -- useful for spotting phase behaviour
+(clustered misses, scheduler effects over time).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+TimelineSample = tuple[int, tuple[int, ...]]
+
+
+def interval_ipcs(
+    timeline: Sequence[TimelineSample],
+) -> list[tuple[int, list[float]]]:
+    """Per-interval, per-thread IPC between consecutive samples.
+
+    Returns ``[(cycle, [ipc per thread]), ...]`` with one entry per
+    interval (``len(timeline) - 1`` entries).
+    """
+    series = []
+    for (c0, committed0), (c1, committed1) in zip(timeline, timeline[1:]):
+        span = c1 - c0
+        if span <= 0:
+            continue
+        series.append(
+            (c1, [(b - a) / span for a, b in zip(committed0, committed1)])
+        )
+    return series
+
+
+def aggregate_interval_ipcs(
+    timeline: Sequence[TimelineSample],
+) -> list[tuple[int, float]]:
+    """Per-interval total IPC (all threads summed)."""
+    return [
+        (cycle, sum(per_thread))
+        for cycle, per_thread in interval_ipcs(timeline)
+    ]
+
+
+def burstiness(timeline: Sequence[TimelineSample]) -> float:
+    """Coefficient of variation of the total-IPC series.
+
+    0 = perfectly steady progress; larger = phasier execution.  0.0
+    when fewer than two intervals exist.
+    """
+    values = [ipc for _, ipc in aggregate_interval_ipcs(timeline)]
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return variance**0.5 / mean

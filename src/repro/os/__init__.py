@@ -1,0 +1,19 @@
+"""Operating-system-level memory management.
+
+The paper touches the OS in two places:
+
+* Section 6 notes its simulation uses **bin hopping** — virtual pages
+  are mapped to physical pages sequentially, which reduces cache
+  interference between threads (citing Lo et al.).
+* Section 5.4 suggests **OS manipulations of memory allocations (for
+  example, using the page coloring)** as a direction for reducing
+  row-buffer conflicts between threads.
+
+:mod:`repro.os.vm` implements both (plus a random-allocation strawman)
+as a virtual-to-physical translation layer that can be inserted in
+front of the cache hierarchy.
+"""
+
+from repro.os.vm import VirtualMemory, vm_policy_names
+
+__all__ = ["VirtualMemory", "vm_policy_names"]

@@ -1,0 +1,147 @@
+"""Virtual-to-physical page allocation policies.
+
+:class:`VirtualMemory` lazily allocates a physical frame the first
+time a (thread, virtual page) pair is touched and translates all later
+accesses.  Three allocation policies:
+
+* ``"bin-hopping"`` — frames are handed out sequentially from a single
+  global counter, regardless of thread or virtual address.  This is
+  the policy the paper's simulation uses (Section 6, after Lo et al.):
+  pages touched close together in time land in consecutive frames, so
+  concurrent threads' working sets interleave smoothly across cache
+  sets and DRAM banks.
+* ``"page-coloring"`` — frames are partitioned into ``colors`` classes
+  by ``frame % colors``; each thread owns a disjoint subset of colors
+  and its pages are allocated round-robin within that subset.  With
+  colors aligned to the DRAM bank count this implements exactly the
+  Section 5.4 suggestion: different threads' pages cannot collide on a
+  bank's row buffer.
+* ``"random"`` — frames drawn uniformly at random (strawman baseline;
+  maximizes accidental conflicts).
+
+Physical memory is unbounded (the paper's workloads never swap); a
+frame is never handed out twice.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigError
+
+_POLICIES = ("bin-hopping", "page-coloring", "random")
+
+
+def vm_policy_names() -> tuple[str, ...]:
+    """Allocation policies accepted by :class:`VirtualMemory`."""
+    return _POLICIES
+
+
+class VirtualMemory:
+    """Lazy page allocator + translator for all hardware threads.
+
+    Parameters
+    ----------
+    policy:
+        One of :func:`vm_policy_names`.
+    page_bytes:
+        Page size (must be a power of two; Table 1-era systems use
+        8 KB).
+    colors:
+        Number of frame colors (page-coloring only).  Align with the
+        number of DRAM banks touched by the page-index bits — e.g.
+        ``banks_per_channel * channels`` — to partition banks between
+        threads.
+    num_threads:
+        Thread count used to partition colors (page-coloring only).
+    rng:
+        Randomness source for the ``"random"`` policy.
+    """
+
+    def __init__(
+        self,
+        policy: str = "bin-hopping",
+        page_bytes: int = 8192,
+        colors: int = 8,
+        num_threads: int = 1,
+        rng: random.Random | None = None,
+    ) -> None:
+        if policy not in _POLICIES:
+            raise ConfigError(
+                f"unknown VM policy {policy!r}; available: {_POLICIES}"
+            )
+        if page_bytes < 1 or page_bytes & (page_bytes - 1):
+            raise ConfigError(f"page_bytes must be a power of two, got {page_bytes}")
+        if colors < 1:
+            raise ConfigError(f"colors must be >= 1, got {colors}")
+        if num_threads < 1:
+            raise ConfigError(f"num_threads must be >= 1, got {num_threads}")
+        self.policy = policy
+        self.page_bytes = page_bytes
+        self.colors = colors
+        self.num_threads = num_threads
+        self._rng = rng or random.Random(12345)
+        self._page_table: Dict[Tuple[int, int], int] = {}
+        self._next_frame = 0
+        # page-coloring: per-color sequential counters plus each
+        # thread's rotation position within its color set.
+        self._color_counters = [0] * colors
+        self._thread_color_pos: Dict[int, int] = {}
+        self._random_used: set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def translate(self, thread_id: int, vaddr: int) -> int:
+        """Translate a virtual byte address; allocates on first touch."""
+        page_bytes = self.page_bytes
+        vpage = vaddr // page_bytes
+        key = (thread_id, vpage)
+        frame = self._page_table.get(key)
+        if frame is None:
+            frame = self._allocate(thread_id)
+            self._page_table[key] = frame
+        return frame * page_bytes + (vaddr % page_bytes)
+
+    def _allocate(self, thread_id: int) -> int:
+        if self.policy == "bin-hopping":
+            frame = self._next_frame
+            self._next_frame += 1
+            return frame
+        if self.policy == "page-coloring":
+            colors = self._thread_colors(thread_id)
+            position = self._thread_color_pos.get(thread_id, 0)
+            color = colors[position % len(colors)]
+            self._thread_color_pos[thread_id] = position + 1
+            index = self._color_counters[color]
+            self._color_counters[color] = index + 1
+            return color + self.colors * index
+        # random
+        while True:
+            frame = self._rng.randrange(1 << 24)
+            if frame not in self._random_used:
+                self._random_used.add(frame)
+                return frame
+
+    def _thread_colors(self, thread_id: int) -> list[int]:
+        """The disjoint color subset owned by ``thread_id``.
+
+        Colors are dealt round-robin over threads; with fewer colors
+        than threads, threads share colors modulo the color count.
+        """
+        share = thread_id % min(self.num_threads, self.colors)
+        owned = [
+            c for c in range(self.colors)
+            if c % min(self.num_threads, self.colors) == share
+        ]
+        return owned or list(range(self.colors))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pages_allocated(self) -> int:
+        return len(self._page_table)
+
+    def frame_of(self, thread_id: int, vaddr: int) -> int | None:
+        """The allocated frame for an address, or None if untouched."""
+        return self._page_table.get((thread_id, vaddr // self.page_bytes))

@@ -1,0 +1,54 @@
+"""Synthetic SPEC CPU2000-like workloads.
+
+The paper drives its simulator with 100M-instruction SimPoint clips of
+the 26 SPEC CPU2000 applications.  SPEC binaries and traces cannot be
+redistributed, so this package substitutes *statistical profiles*: for
+each application a parameterized generator produces an endless µop
+stream whose instruction mix, dependence structure, branch behaviour
+and multi-region memory-address stream land the application in the
+same qualitative class the paper uses (compute-bound "ILP" vs
+memory-bound "MEM", with mcf the most memory-intensive).
+
+Table 2's workload mixes are reproduced verbatim in
+:mod:`repro.workloads.mixes`.
+"""
+
+from repro.workloads.analysis import StreamStats, analyze_stream, validate_profile
+from repro.workloads.generator import SyntheticStream, Uop
+from repro.workloads.mixes import (
+    MIXES,
+    WorkloadMix,
+    all_mix_names,
+    get_mix,
+)
+from repro.workloads.profile import AppProfile, Region
+from repro.workloads.spec2000 import PROFILES, get_profile, profile_names
+from repro.workloads.trace import (
+    TraceStream,
+    TraceWriter,
+    extract_memory_trace,
+    load_trace,
+    record_trace,
+)
+
+__all__ = [
+    "AppProfile",
+    "StreamStats",
+    "TraceStream",
+    "TraceWriter",
+    "analyze_stream",
+    "extract_memory_trace",
+    "load_trace",
+    "record_trace",
+    "validate_profile",
+    "MIXES",
+    "PROFILES",
+    "Region",
+    "SyntheticStream",
+    "Uop",
+    "WorkloadMix",
+    "all_mix_names",
+    "get_mix",
+    "get_profile",
+    "profile_names",
+]

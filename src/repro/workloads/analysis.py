@@ -1,0 +1,132 @@
+"""Empirical workload-stream analysis.
+
+Measures, from a window of generated µops, the statistics the profiles
+promise: instruction mix, dependence distances, branch behaviour,
+footprint and reuse.  Used to validate profiles against their
+parameters (the calibration tests in ``tests/workloads``) and to
+characterize custom workloads before simulating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.types import OpClass
+
+_LINE = 64
+
+
+@dataclass
+class StreamStats:
+    """Measured statistics of one µop-stream window."""
+
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    fp_ops: int
+    mispredict_flags: int
+    distinct_lines: int
+    distinct_pages: int
+    mean_dep1: float
+    line_reuse: float
+    #: lines touched per 100 instructions that were first touches
+    new_lines_per_100: float
+    opclass_counts: dict = field(default_factory=dict)
+
+    @property
+    def mem_frac(self) -> float:
+        return (self.loads + self.stores) / self.instructions
+
+    @property
+    def store_frac(self) -> float:
+        mem = self.loads + self.stores
+        return self.stores / mem if mem else 0.0
+
+    @property
+    def branch_frac(self) -> float:
+        return self.branches / self.instructions
+
+    @property
+    def mispredict_rate(self) -> float:
+        return (
+            self.mispredict_flags / self.branches if self.branches else 0.0
+        )
+
+    @property
+    def fp_frac(self) -> float:
+        compute = self.instructions - self.loads - self.stores - self.branches
+        return self.fp_ops / compute if compute else 0.0
+
+
+def analyze_stream(stream, window: int = 20000, page_bytes: int = 8192) -> StreamStats:
+    """Generate ``window`` µops from ``stream`` and measure them."""
+    if window < 1:
+        raise ConfigError(f"window must be >= 1, got {window}")
+    loads = stores = branches = fp_ops = mispredicts = 0
+    dep1_sum = dep1_count = 0
+    lines: dict[int, int] = {}
+    pages: set[int] = set()
+    opclass_counts: dict[str, int] = {}
+    accesses = 0
+    for _ in range(window):
+        uop = stream.next_uop()
+        opclass_counts[uop.opc.name] = opclass_counts.get(uop.opc.name, 0) + 1
+        if uop.dep1:
+            dep1_sum += uop.dep1
+            dep1_count += 1
+        if uop.opc is OpClass.LOAD:
+            loads += 1
+        elif uop.opc is OpClass.STORE:
+            stores += 1
+        elif uop.opc is OpClass.BRANCH:
+            branches += 1
+            mispredicts += uop.mispredict
+        elif uop.opc.is_fp:
+            fp_ops += 1
+        if uop.opc.is_memory:
+            accesses += 1
+            line = uop.addr // _LINE
+            lines[line] = lines.get(line, 0) + 1
+            pages.add(uop.addr // page_bytes)
+    distinct = len(lines)
+    reuse = accesses / distinct if distinct else 0.0
+    return StreamStats(
+        instructions=window,
+        loads=loads,
+        stores=stores,
+        branches=branches,
+        fp_ops=fp_ops,
+        mispredict_flags=mispredicts,
+        distinct_lines=distinct,
+        distinct_pages=len(pages),
+        mean_dep1=dep1_sum / dep1_count if dep1_count else 0.0,
+        line_reuse=reuse,
+        new_lines_per_100=100.0 * distinct / window,
+        opclass_counts=opclass_counts,
+    )
+
+
+def validate_profile(stream, window: int = 20000, tolerance: float = 0.03) -> list[str]:
+    """Check a synthetic stream against its profile's parameters.
+
+    Returns a list of human-readable discrepancies (empty = all
+    measured fractions within ``tolerance`` of the profile).
+    """
+    profile = stream.profile
+    stats = analyze_stream(stream, window)
+    problems = []
+    checks = [
+        ("mem_frac", stats.mem_frac, profile.mem_frac),
+        ("store_frac", stats.store_frac, profile.store_frac),
+        ("branch_frac", stats.branch_frac, profile.branch_frac),
+        ("mispredict_rate", stats.mispredict_rate, profile.mispredict_rate),
+    ]
+    for name, measured, expected in checks:
+        if abs(measured - expected) > tolerance:
+            problems.append(
+                f"{profile.name}: {name} measured {measured:.3f} vs "
+                f"profile {expected:.3f}"
+            )
+    return problems

@@ -1,0 +1,78 @@
+"""The paper's Table 2 workload mixes.
+
+Nine mixes: {2, 4, 8} threads x {ILP, MIX, MEM}.  The ILP mixes contain
+only compute-bound applications, the MEM mixes only memory-bound ones,
+and the MIX mixes half of each.  mcf appears in the 2-thread MEM mix
+because it has the highest overall CPI and a high CPI_mem share
+(footnote 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.spec2000 import get_profile
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One row of Table 2."""
+
+    name: str
+    threads: int
+    kind: str  # "ILP" | "MIX" | "MEM"
+    apps: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.apps) != self.threads:
+            raise ValueError(
+                f"{self.name}: {self.threads} threads but {len(self.apps)} apps"
+            )
+        for app in self.apps:
+            get_profile(app)  # raises KeyError for unknown names
+
+
+MIXES: dict[str, WorkloadMix] = {
+    mix.name: mix
+    for mix in (
+        WorkloadMix("2-ILP", 2, "ILP", ("bzip2", "gzip")),
+        WorkloadMix("2-MIX", 2, "MIX", ("gzip", "mcf")),
+        WorkloadMix("2-MEM", 2, "MEM", ("mcf", "ammp")),
+        WorkloadMix("4-ILP", 4, "ILP", ("bzip2", "gzip", "sixtrack", "eon")),
+        WorkloadMix("4-MIX", 4, "MIX", ("gzip", "mcf", "bzip2", "ammp")),
+        WorkloadMix("4-MEM", 4, "MEM", ("mcf", "ammp", "swim", "lucas")),
+        WorkloadMix(
+            "8-ILP", 8, "ILP",
+            ("gzip", "bzip2", "sixtrack", "eon",
+             "mesa", "galgel", "crafty", "wupwise"),
+        ),
+        WorkloadMix(
+            "8-MIX", 8, "MIX",
+            ("gzip", "mcf", "bzip2", "ammp",
+             "sixtrack", "swim", "eon", "lucas"),
+        ),
+        WorkloadMix(
+            "8-MEM", 8, "MEM",
+            ("mcf", "ammp", "swim", "lucas",
+             "equake", "applu", "vpr", "facerec"),
+        ),
+    )
+}
+
+
+def all_mix_names() -> list[str]:
+    """Mix names in the paper's presentation order."""
+    order = ("ILP", "MIX", "MEM")
+    return sorted(
+        MIXES, key=lambda n: (MIXES[n].threads, order.index(MIXES[n].kind))
+    )
+
+
+def get_mix(name: str) -> WorkloadMix:
+    """Look up a Table 2 mix, e.g. ``"4-MEM"``."""
+    try:
+        return MIXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mix {name!r}; known: {all_mix_names()}"
+        ) from None

@@ -1,0 +1,160 @@
+"""Application profile model.
+
+An :class:`AppProfile` captures, statistically, everything the SMT core
+and memory system need from a SPEC CPU2000 application:
+
+* instruction mix (memory / branch / int / fp fractions),
+* dependence structure (how far back producers sit, and whether loads
+  chase pointers through other loads),
+* branch predictability,
+* and a *multi-region address model*: a small set of
+  :class:`Region` descriptors, each either uniformly random (pointer /
+  hash-table style, row-buffer hostile) or streaming (array walks,
+  row-buffer friendly), sized relative to the cache hierarchy so each
+  application reproduces its qualitative L2/L3/DRAM behaviour.
+
+Region sizes are given in cache lines *at full scale* (64 KB L1,
+512 KB L2 = 8192 lines, 4 MB L3 = 65536 lines); the generator divides
+them by the experiment's footprint scale so scaled-down runs keep the
+same footprint-to-capacity ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Region:
+    """One component of an application's memory footprint.
+
+    Attributes
+    ----------
+    size_lines:
+        Footprint of the region in 64 B cache lines (full scale).
+    weight:
+        Relative probability that a memory access falls here.
+    kind:
+        ``"random"`` -- jump to a uniformly random line, then touch
+        ``burst`` sequential lines (hash tables, pointer soup; mostly
+        row-buffer hostile, with the short spatial tail real pointer
+        codes show).
+        ``"stream"`` -- sequential walks; ``streams`` independent
+        pointers advance ``stride`` lines per step, giving high
+        spatial locality and row-buffer friendliness.
+    streams:
+        Number of concurrent walk pointers (stream regions only).
+    stride:
+        Lines advanced per step (stream regions only).
+    repeats:
+        Consecutive accesses to a line before moving on; models
+        word-granular walks (8 words per 64 B line) and controls how
+        many L1 hits each fetched line earns.  One line is fetched
+        per ``repeats`` accesses.
+    burst:
+        Sequential lines touched after each random jump (random
+        regions only).
+    """
+
+    size_lines: int
+    weight: float
+    kind: str = "random"
+    streams: int = 4
+    stride: int = 1
+    repeats: int = 1
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_lines < 1:
+            raise ConfigError(f"region size must be >= 1 line, got {self.size_lines}")
+        if self.weight <= 0:
+            raise ConfigError(f"region weight must be > 0, got {self.weight}")
+        if self.kind not in ("random", "stream"):
+            raise ConfigError(f"unknown region kind {self.kind!r}")
+        if self.streams < 1 or self.stride < 1 or self.repeats < 1:
+            raise ConfigError("streams, stride and repeats must be >= 1")
+        if self.burst < 1:
+            raise ConfigError("burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Statistical model of one application.
+
+    ``category`` is the paper's classification used to build Table 2:
+    ``"ILP"`` (compute-bound), ``"MEM"`` (memory-bound), or ``"MID"``
+    (in between; not used in mixes but present for completeness).
+    """
+
+    name: str
+    category: str
+    #: Fraction of dynamic instructions that are loads or stores.
+    mem_frac: float
+    #: Of the memory operations, the fraction that are stores.
+    store_frac: float
+    #: Fraction of dynamic instructions that are branches.
+    branch_frac: float
+    #: Probability a branch is mispredicted.
+    mispredict_rate: float
+    #: Of the remaining compute ops, fraction that are floating point.
+    fp_frac: float
+    #: Of compute ops, fraction that are multiplies (long latency).
+    mult_frac: float = 0.1
+    #: Probability an instruction-fetch group misses the L1 I-cache.
+    icache_miss_rate: float = 0.001
+    #: Mean backwards dependence distance (higher = more ILP).
+    dep_mean: float = 5.0
+    #: Probability an instruction has a first source operand at all.
+    dep_prob: float = 0.8
+    #: Probability of a second source operand.
+    dep2_prob: float = 0.25
+    #: Probability a load's address depends on the previous load
+    #: (pointer chasing -- serializes misses; high for mcf).
+    ptr_chase: float = 0.0
+    #: Mean length (in memory accesses) of a stay in one region before
+    #: moving to another.  Values above 1 make accesses *phased*, so
+    #: cache misses arrive in clusters -- the behaviour the paper's
+    #: access scheduling exploits (Section 3, citing Pai & Adve).
+    cluster: float = 8.0
+    #: Memory footprint model.
+    regions: tuple[Region, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.category not in ("ILP", "MEM", "MID"):
+            raise ConfigError(f"unknown category {self.category!r}")
+        for frac_name in (
+            "mem_frac",
+            "store_frac",
+            "branch_frac",
+            "mispredict_rate",
+            "fp_frac",
+            "mult_frac",
+            "icache_miss_rate",
+            "dep_prob",
+            "dep2_prob",
+            "ptr_chase",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{self.name}: {frac_name}={value} not in [0, 1]")
+        if self.mem_frac + self.branch_frac > 1.0:
+            raise ConfigError(
+                f"{self.name}: mem_frac + branch_frac exceeds 1.0"
+            )
+        if self.dep_mean < 1.0:
+            raise ConfigError(f"{self.name}: dep_mean must be >= 1")
+        if self.cluster < 1.0:
+            raise ConfigError(f"{self.name}: cluster must be >= 1")
+        if not self.regions:
+            raise ConfigError(f"{self.name}: needs at least one region")
+
+    @property
+    def total_region_weight(self) -> float:
+        return sum(r.weight for r in self.regions)
+
+    @property
+    def footprint_lines(self) -> int:
+        """Total footprint (full scale), in cache lines."""
+        return sum(r.size_lines for r in self.regions)

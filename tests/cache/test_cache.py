@@ -1,0 +1,169 @@
+"""Tests for the set-associative LRU cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.cache.cache import SetAssocCache
+
+
+def small_cache(assoc=2, sets=4):
+    return SetAssocCache("T", sets * assoc * 64, assoc, 64)
+
+
+class TestBasics:
+    def test_geometry(self):
+        c = SetAssocCache("L1", 64 * 1024, 2, 64)
+        assert c.num_sets == 512
+
+    def test_misaligned_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache("bad", 1000, 2, 64)
+
+    def test_nonpositive_params_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssocCache("bad", 0, 2, 64)
+        with pytest.raises(ConfigError):
+            SetAssocCache("bad", 1024, -1, 64)
+
+    def test_first_access_misses_then_hits(self):
+        c = small_cache()
+        assert c.access(10).hit is False
+        assert c.access(10).hit is True
+
+    def test_probe_does_not_disturb(self):
+        c = small_cache()
+        c.access(10)
+        assert c.probe(10)
+        assert not c.probe(999)
+        assert c.stats.total == 1  # probe not counted
+
+
+class TestLRU:
+    def test_lru_victim_evicted(self):
+        c = small_cache(assoc=2, sets=1)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # 1 is now LRU
+        c.access(2)  # evicts 1
+        assert c.probe(0)
+        assert not c.probe(1)
+        assert c.probe(2)
+
+    def test_hit_refreshes_recency(self):
+        c = small_cache(assoc=2, sets=1)
+        c.access(0)
+        c.access(1)
+        c.access(0)
+        c.access(1)
+        c.access(2)  # victim must be 0 (LRU)
+        assert not c.probe(0)
+        assert c.probe(1)
+
+    def test_different_sets_do_not_interfere(self):
+        c = small_cache(assoc=1, sets=4)
+        for line in range(4):
+            c.access(line)
+        assert all(c.probe(line) for line in range(4))
+
+
+class TestWriteback:
+    def test_clean_victim_no_writeback(self):
+        c = small_cache(assoc=1, sets=1)
+        c.access(0)
+        result = c.access(1)
+        assert result.writeback is None
+
+    def test_dirty_victim_returned(self):
+        c = small_cache(assoc=1, sets=1)
+        c.access(0, write=True)
+        result = c.access(1)
+        assert result.writeback == 0
+
+    def test_write_hit_sets_dirty(self):
+        c = small_cache(assoc=1, sets=1)
+        c.access(0)               # clean fill
+        c.access(0, write=True)   # dirty it
+        assert c.access(1).writeback == 0
+
+    def test_writeback_address_reconstruction(self):
+        c = SetAssocCache("T", 8 * 64, 2, 64)  # 4 sets
+        line = 4 * 7 + 2  # set 2, tag 7
+        c.access(line, write=True)
+        c.access(4 * 9 + 2, write=True)
+        result = c.access(4 * 11 + 2)
+        assert result.writeback == line
+
+
+class TestMarkDirty:
+    def test_present_line_marked(self):
+        c = small_cache()
+        c.access(5)
+        assert c.mark_dirty_if_present(5)
+        assert c.access(5 + c.num_sets * 1000).writeback is None or True
+        # explicit: evicting 5 must produce a writeback
+        c2 = small_cache(assoc=1, sets=1)
+        c2.access(0)
+        c2.mark_dirty_if_present(0)
+        assert c2.access(1).writeback == 0
+
+    def test_absent_line_ignored(self):
+        c = small_cache()
+        assert not c.mark_dirty_if_present(123)
+        assert not c.probe(123)  # no allocation side effect
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        c = small_cache()
+        c.access(3)
+        assert c.invalidate(3)
+        assert not c.probe(3)
+
+    def test_invalidate_absent(self):
+        assert not small_cache().invalidate(3)
+
+
+class TestStats:
+    def test_hit_rate_tracked(self):
+        c = small_cache()
+        c.access(1)
+        c.access(1)
+        c.access(2)
+        assert c.stats.rate == pytest.approx(1 / 3)
+
+    def test_lines_resident(self):
+        c = small_cache(assoc=2, sets=2)
+        for line in range(3):
+            c.access(line)
+        assert c.lines_resident == 3
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    def test_capacity_never_exceeded(self, lines):
+        c = small_cache(assoc=2, sets=4)
+        for line in lines:
+            c.access(line)
+        assert c.lines_resident <= 8
+        for s in c._sets:
+            assert len(s) <= 2
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    def test_most_recent_line_always_resident(self, lines):
+        c = small_cache(assoc=2, sets=4)
+        for line in lines:
+            c.access(line)
+            assert c.probe(line)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.tuples(st.integers(0, 31), st.booleans()),
+                    min_size=1, max_size=200))
+    def test_stats_consistent(self, ops):
+        c = small_cache(assoc=2, sets=4)
+        for line, write in ops:
+            c.access(line, write=write)
+        assert c.stats.total == len(ops)
+        assert 0 <= c.stats.hits <= c.stats.total

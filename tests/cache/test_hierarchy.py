@@ -1,0 +1,229 @@
+"""Tests for the L1/L2/L3 hierarchy in front of DRAM."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.events import EventQueue
+from repro.cache.hierarchy import (
+    PENDING,
+    RETRY,
+    HierarchyParams,
+    MemoryHierarchy,
+)
+from repro.dram.system import MemorySystem
+
+#: Far-apart addresses (different pages/lines/rows).
+A = 0x100000
+B = 0x900000
+C = 0x1700000
+
+
+def build(params=None):
+    evq = EventQueue()
+    memory = MemorySystem.ddr(evq)
+    hierarchy = MemoryHierarchy(
+        params or HierarchyParams(scale=64, tlb_penalty=0), evq, memory
+    )
+    return evq, memory, hierarchy
+
+
+class TestHits:
+    def test_l1_hit_latency(self):
+        evq, _, h = build()
+        done = []
+        assert h.load(A, 0, now=0, callback=done.append) is PENDING
+        evq.run_all()
+        # now resident: hit is now + l1_latency
+        assert h.load(A, 0, now=evq.now) == evq.now + 1
+
+    def test_store_to_resident_line(self):
+        evq, _, h = build()
+        h.load(A, 0, now=0, callback=lambda t: None)
+        evq.run_all()
+        t = h.store(A, 0, now=evq.now)
+        assert t == evq.now + 1
+
+    def test_tlb_penalty_added(self):
+        evq = EventQueue()
+        memory = MemorySystem.ddr(evq)
+        h = MemoryHierarchy(
+            HierarchyParams(scale=64, tlb_penalty=25), evq, memory
+        )
+        h.load(A, 0, now=0, callback=lambda t: None)
+        evq.run_all()
+        # resident line, but fresh page mapping was installed above, so
+        # this second page access hits the TLB: just L1 latency.
+        assert h.load(A, 0, now=evq.now) == evq.now + 1
+        # a new page pays the TLB penalty even on this L1 miss path
+        done = []
+        h.load(B, 0, now=evq.now, callback=done.append)
+        evq.run_all()
+
+
+class TestMissPath:
+    def test_miss_goes_to_dram_and_returns(self):
+        evq, memory, h = build()
+        done = []
+        assert h.load(A, 0, now=0, callback=done.append) is PENDING
+        evq.run_all()
+        assert len(done) == 1
+        assert done[0] > 30  # beyond L2+L3 lookup alone
+        assert memory.stats.reads == 1
+
+    def test_miss_latency_includes_lookups(self):
+        evq, memory, h = build()
+        done = []
+        h.load(A, 0, now=0, callback=done.append)
+        evq.run_all()
+        # 1 (L1) + 10 (L2) + 20 (L3) + 160 (cold DRAM read) = 191
+        assert done[0] == 191
+
+    def test_l2_hit_after_l1_eviction(self):
+        evq, memory, h = build(HierarchyParams(scale=512, tlb_penalty=0))
+        # tiny L1 (128 B = 2 lines), larger L2: fill L1 past capacity
+        done = []
+        h.load(A, 0, now=0, callback=done.append)
+        evq.run_all()
+        for i in range(1, 9):  # evict A from L1 (same set pressure)
+            h.load(A + 64 * i * h.l1d.num_sets, 0, now=evq.now,
+                   callback=done.append)
+            evq.run_all()
+        reads_before = memory.stats.reads
+        result = h.load(A, 0, now=evq.now, callback=done.append)
+        evq.run_all()
+        assert memory.stats.reads == reads_before  # served by L2/L3
+
+    def test_merged_misses_share_one_dram_read(self):
+        evq, memory, h = build()
+        done = []
+        h.load(A, 0, now=0, callback=done.append)
+        h.load(A + 8, 0, now=0, callback=done.append)  # same line
+        evq.run_all()
+        assert len(done) == 2
+        assert done[0] == done[1]
+        assert memory.stats.reads == 1
+        assert h.mshr.merges == 1
+
+
+class TestMSHRBackpressure:
+    def test_retry_when_full(self):
+        evq, _, h = build(HierarchyParams(scale=64, mshr_entries=2,
+                                          tlb_penalty=0))
+        assert h.load(A, 0, now=0, callback=lambda t: None) is PENDING
+        assert h.load(B, 0, now=0, callback=lambda t: None) is PENDING
+        assert h.load(C, 0, now=0, callback=lambda t: None) is RETRY
+
+    def test_retry_leaves_no_state(self):
+        evq, _, h = build(HierarchyParams(scale=64, mshr_entries=1,
+                                          tlb_penalty=0))
+        h.load(A, 0, now=0, callback=lambda t: None)
+        loads_before = h.loads
+        assert h.load(B, 0, now=0, callback=lambda t: None) is RETRY
+        assert h.loads == loads_before
+        assert not h.l1d.probe(B // 64)
+
+    def test_store_bypasses_when_full(self):
+        evq, _, h = build(HierarchyParams(scale=64, mshr_entries=1,
+                                          tlb_penalty=0))
+        h.load(A, 0, now=0, callback=lambda t: None)
+        t = h.store(B, 0, now=0)
+        assert t == 1
+        assert h.store_bypasses == 1
+
+
+class TestMissTracking:
+    def test_l1_and_l2_counters_lifecycle(self):
+        evq, _, h = build()
+        h.load(A, 3, now=0, callback=lambda t: None)
+        assert h.outstanding_l1_misses(3) == 1
+        assert h.outstanding_l2_misses(3) == 0  # not yet past L2
+        evq.run_until(12)  # past the L2 probe at t=11
+        assert h.outstanding_l2_misses(3) == 1
+        evq.run_all()
+        assert h.outstanding_l1_misses(3) == 0
+        assert h.outstanding_l2_misses(3) == 0
+
+    def test_counters_per_thread(self):
+        evq, _, h = build()
+        h.load(A, 0, now=0, callback=lambda t: None)
+        h.load(B, 1, now=0, callback=lambda t: None)
+        assert h.outstanding_l1_misses(0) == 1
+        assert h.outstanding_l1_misses(1) == 1
+        assert h.outstanding_l1_misses(2) == 0
+
+
+class TestPerfectLevels:
+    def test_perfect_l1_constant_latency(self):
+        evq = EventQueue()
+        h = MemoryHierarchy(
+            HierarchyParams(perfect_l1=True, perfect_l2=True,
+                            perfect_l3=True, tlb_penalty=0),
+            evq, None,
+        )
+        assert h.load(A, 0, now=100) == 101
+
+    def test_perfect_l3_never_touches_dram(self):
+        evq = EventQueue()
+        h = MemoryHierarchy(
+            HierarchyParams(scale=64, perfect_l3=True, tlb_penalty=0),
+            evq, None,
+        )
+        done = []
+        h.load(A, 0, now=0, callback=done.append)
+        evq.run_all()
+        assert done == [31]  # 1 + 10 + 20
+
+    def test_perfect_l2_short_circuit(self):
+        evq = EventQueue()
+        h = MemoryHierarchy(
+            HierarchyParams(scale=64, perfect_l2=True, perfect_l3=True,
+                            tlb_penalty=0),
+            evq, None,
+        )
+        done = []
+        h.load(A, 0, now=0, callback=done.append)
+        evq.run_all()
+        assert done == [11]  # 1 + 10
+
+    def test_memory_required_unless_perfect_l3(self):
+        with pytest.raises(ConfigError):
+            MemoryHierarchy(HierarchyParams(), EventQueue(), None)
+
+
+class TestWritebacks:
+    def test_dirty_l3_eviction_writes_dram(self):
+        evq, memory, h = build(HierarchyParams(scale=2048, tlb_penalty=0))
+        # L3 is tiny (2 KB = 32 lines, 4-way, 8 sets): dirty lines then
+        # evict them with a sweep of a different tag range.
+        for i in range(16):
+            h.store(A + i * 64, 0, now=evq.now)
+            evq.run_all()
+        writes_before = memory.stats.writes
+        for i in range(64):
+            h.load(C + i * 64, 0, now=evq.now, callback=lambda t: None)
+            evq.run_all()
+        assert memory.stats.writes > writes_before
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_fields(self):
+        evq, _, h = build()
+        h.load(A, 0, now=0, callback=lambda t: None)
+        h.store(B, 1, now=0)
+        evq.run_all()
+        snap = h.snapshot()
+        assert snap.loads == 1
+        assert snap.stores == 1
+        assert snap.dram_reads_issued == 2
+        assert snap.dram_loads_per_thread == {0: 1, 1: 1}
+
+    def test_reset_clears_counters_keeps_contents(self):
+        evq, _, h = build()
+        h.load(A, 0, now=0, callback=lambda t: None)
+        evq.run_all()
+        h.reset_stats()
+        snap = h.snapshot()
+        assert snap.loads == 0
+        assert snap.dram_reads_issued == 0
+        # contents survive:
+        assert h.load(A, 0, now=evq.now) == evq.now + 1

@@ -1,0 +1,83 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cache.mshr import MSHRFile, MSHRStatus
+
+
+class TestRegistration:
+    def test_first_miss_is_new(self):
+        m = MSHRFile(4)
+        assert m.register(10, 0) is MSHRStatus.NEW
+        assert m.pending(10)
+
+    def test_same_line_merges(self):
+        m = MSHRFile(4)
+        m.register(10, 0)
+        assert m.register(10, 1) is MSHRStatus.MERGED
+        assert m.merges == 1
+        assert len(m) == 1
+
+    def test_full_file_rejects(self):
+        m = MSHRFile(2)
+        m.register(1, 0)
+        m.register(2, 0)
+        assert m.register(3, 0) is MSHRStatus.FULL
+        assert m.rejections == 1
+        assert not m.pending(3)
+
+    def test_merge_allowed_when_full(self):
+        m = MSHRFile(1)
+        m.register(1, 0)
+        assert m.register(1, 0) is MSHRStatus.MERGED
+
+    def test_available(self):
+        m = MSHRFile(3)
+        m.register(1, 0)
+        assert m.available == 2
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigError):
+            MSHRFile(0)
+
+
+class TestCompletion:
+    def test_waiters_invoked_with_finish_time(self):
+        m = MSHRFile(4)
+        calls = []
+        m.register(10, 0, waiter=lambda t: calls.append(("a", t)))
+        m.register(10, 1, waiter=lambda t: calls.append(("b", t)))
+        m.complete(10, 777)
+        assert calls == [("a", 777), ("b", 777)]
+        assert not m.pending(10)
+
+    def test_entry_reusable_after_completion(self):
+        m = MSHRFile(1)
+        m.register(1, 0)
+        m.complete(1, 5)
+        assert m.register(2, 0) is MSHRStatus.NEW
+
+    def test_completion_of_unknown_line_raises(self):
+        with pytest.raises(KeyError):
+            MSHRFile(1).complete(99, 0)
+
+    def test_waiterless_entry_completes(self):
+        m = MSHRFile(1)
+        m.register(1, 0, waiter=None)
+        assert m.complete(1, 5) == []
+
+
+class TestMetadata:
+    def test_initiator_recorded(self):
+        m = MSHRFile(4)
+        m.register(10, 3)
+        m.register(10, 5)  # merge does not change initiator
+        assert m.initiator(10) == 3
+
+    def test_dram_flag(self):
+        m = MSHRFile(4)
+        m.register(10, 0)
+        assert not m.went_to_dram(10)
+        m.mark_dram(10)
+        assert m.went_to_dram(10)

@@ -1,0 +1,138 @@
+"""Tests for the stride prefetcher and its hierarchy integration."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.events import EventQueue
+from repro.cache.hierarchy import HierarchyParams, MemoryHierarchy
+from repro.cache.prefetch import PrefetchQuota, StridePrefetcher
+from repro.dram.system import MemorySystem
+
+
+class TestStrideDetection:
+    def test_needs_two_confirmations(self):
+        p = StridePrefetcher(degree=2, lines_per_page=1 << 30)
+        assert p.train(0, 100) == []        # first touch
+        assert p.train(0, 101) == []        # stride 1, 1 confirmation
+        assert p.train(0, 102) == [103, 104]
+
+    def test_detects_larger_strides(self):
+        p = StridePrefetcher(degree=1, lines_per_page=1 << 30)
+        p.train(0, 0)
+        p.train(0, 8)
+        assert p.train(0, 16) == [24]
+
+    def test_stride_change_retrains(self):
+        p = StridePrefetcher(degree=1, lines_per_page=1 << 30)
+        for line in (0, 1, 2):
+            p.train(0, line)
+        assert p.train(0, 10) == []  # stride broke: 8, 1 confirmation
+        assert p.train(0, 18) == [26]
+
+    def test_threads_tracked_separately(self):
+        p = StridePrefetcher(degree=1, lines_per_page=1 << 30)
+        p.train(0, 0)
+        p.train(1, 50)
+        p.train(0, 1)
+        p.train(1, 52)
+        assert p.train(0, 2) == [3]
+        assert p.train(1, 54) == [56]
+
+    def test_zero_stride_ignored(self):
+        p = StridePrefetcher(degree=1, lines_per_page=1 << 30)
+        p.train(0, 5)
+        assert p.train(0, 5) == []
+
+    def test_table_bounded(self):
+        p = StridePrefetcher(table_entries=4, lines_per_page=128)
+        for page in range(20):
+            p.train(0, page * 128)
+        assert len(p._table) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StridePrefetcher(degree=0)
+
+
+class TestQuota:
+    def test_bounded(self):
+        q = PrefetchQuota(entries=2)
+        assert q.try_acquire(1)
+        assert q.try_acquire(2)
+        assert not q.try_acquire(3)
+        assert q.dropped == 1
+
+    def test_duplicate_dropped(self):
+        q = PrefetchQuota(entries=4)
+        assert q.try_acquire(1)
+        assert not q.try_acquire(1)
+
+    def test_release_frees(self):
+        q = PrefetchQuota(entries=1)
+        q.try_acquire(1)
+        q.release(1)
+        assert q.try_acquire(2)
+        assert q.in_flight == 1
+
+
+class TestHierarchyIntegration:
+    def build(self, prefetch=True):
+        evq = EventQueue()
+        memory = MemorySystem.ddr(evq)
+        hierarchy = MemoryHierarchy(
+            HierarchyParams(scale=64, tlb_penalty=0, prefetch=prefetch),
+            evq, memory,
+        )
+        return evq, memory, hierarchy
+
+    def test_sequential_misses_trigger_prefetch_fills(self):
+        evq, memory, h = self.build()
+        # miss lines 0,1,2,... with large gaps in time so each trains
+        for i in range(8):
+            h.load(i * 64, 0, now=evq.now, callback=lambda t: None)
+            evq.run_all()
+        assert h.prefetch_fills > 0
+        assert h.prefetch_dram_reads > 0
+
+    def test_prefetched_line_hits_in_l1(self):
+        evq, memory, h = self.build()
+        for i in range(4):
+            h.load(i * 64, 0, now=evq.now, callback=lambda t: None)
+            evq.run_all()
+        # the prefetcher ran ahead: the next line is already resident
+        result = h.load(4 * 64, 0, now=evq.now)
+        assert isinstance(result, int)  # an L1 hit, not PENDING
+
+    def test_disabled_by_default(self):
+        evq = EventQueue()
+        memory = MemorySystem.ddr(evq)
+        h = MemoryHierarchy(HierarchyParams(scale=64), evq, memory)
+        assert h.prefetcher is None
+        for i in range(6):
+            h.load(i * 64, 0, now=evq.now, callback=lambda t: None)
+            evq.run_all()
+        assert h.prefetch_fills == 0
+
+    def test_random_misses_do_not_prefetch(self):
+        evq, memory, h = self.build()
+        for line in (5, 999, 33, 7777, 123, 45678):
+            h.load(line * 64, 0, now=evq.now, callback=lambda t: None)
+            evq.run_all()
+        assert h.prefetch_dram_reads == 0
+
+    def test_quota_bounds_inflight(self):
+        evq, memory, h = self.build()
+        # issue a long run of sequential misses without draining events
+        for i in range(32):
+            h.load(i * 64, 0, now=evq.now, callback=lambda t: None)
+        assert h.prefetch_quota.in_flight <= 4
+        evq.run_all()
+
+    def test_snapshot_reports_prefetch_counters(self):
+        evq, memory, h = self.build()
+        for i in range(8):
+            h.load(i * 64, 0, now=evq.now, callback=lambda t: None)
+            evq.run_all()
+        snap = h.snapshot()
+        assert snap.prefetch_fills == h.prefetch_fills
+        assert snap.prefetch_dram_reads == h.prefetch_dram_reads

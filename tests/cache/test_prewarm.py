@@ -1,0 +1,88 @@
+"""Tests for structural cache pre-warming."""
+
+from repro.common.events import EventQueue
+from repro.common.rng import child_rng
+from repro.cache.hierarchy import HierarchyParams, MemoryHierarchy
+from repro.cache.prewarm import prewarm
+from repro.dram.system import MemorySystem
+from repro.workloads.generator import SyntheticStream
+from repro.workloads.profile import Region
+from repro.workloads.spec2000 import get_profile
+
+
+def build(scale=32):
+    evq = EventQueue()
+    memory = MemorySystem.ddr(evq)
+    hierarchy = MemoryHierarchy(HierarchyParams(scale=scale), evq, memory)
+    return evq, memory, hierarchy
+
+
+def footprint_for(app, tid=0, scale=32):
+    stream = SyntheticStream(
+        get_profile(app), child_rng(1, f"{app}:{tid}"), thread_id=tid,
+        scale=scale,
+    )
+    return stream.footprint()
+
+
+class TestPrewarm:
+    def test_resident_lines_installed(self):
+        _, _, hierarchy = build()
+        inserted = prewarm(hierarchy, [footprint_for("gzip")])
+        assert inserted > 0
+        assert hierarchy.l3.lines_resident > 0
+
+    def test_small_region_reaches_l1(self):
+        _, _, hierarchy = build()
+        footprint = footprint_for("eon")  # stack + small L2 region only
+        prewarm(hierarchy, [footprint])
+        base_line, size, _ = footprint[0]  # the stack region
+        hits = sum(
+            1 for line in range(base_line, base_line + size)
+            if hierarchy.l1d.probe(line)
+        )
+        assert hits == size
+
+    def test_dram_regions_skipped(self):
+        _, _, hierarchy = build()
+        footprint = footprint_for("mcf")
+        inserted = prewarm(hierarchy, [footprint])
+        dram_region_lines = max(size for _, size, _ in footprint)
+        total_lines = sum(size for _, size, _ in footprint)
+        assert inserted <= total_lines - dram_region_lines
+
+    def test_stats_reset_after_fill(self):
+        _, memory, hierarchy = build()
+        prewarm(hierarchy, [footprint_for("gzip")])
+        assert hierarchy.l3.stats.total == 0
+        assert hierarchy.l1d.stats.total == 0
+
+    def test_multiple_threads_share_capacity(self):
+        _, _, hierarchy = build()
+        footprints = [footprint_for("swim", tid=t) for t in range(4)]
+        prewarm(hierarchy, footprints)
+        capacity = hierarchy.l3.num_sets * hierarchy.l3.assoc
+        assert hierarchy.l3.lines_resident <= capacity
+
+    def test_perfect_l1_noop(self):
+        evq = EventQueue()
+        hierarchy = MemoryHierarchy(
+            HierarchyParams(perfect_l1=True, perfect_l3=True), evq, None
+        )
+        assert prewarm(hierarchy, [footprint_for("gzip")]) == 0
+
+    def test_empty_footprints(self):
+        _, _, hierarchy = build()
+        assert prewarm(hierarchy, [[]]) == 0
+
+    def test_reduces_cold_misses(self):
+        # A warmed hierarchy should serve the stack region from L1.
+        _, memory, hierarchy = build()
+        footprint = footprint_for("eon")
+        prewarm(hierarchy, [footprint])
+        evq = hierarchy.event_queue
+        base_line, size, _ = footprint[0]
+        for line in range(base_line, base_line + min(size, 16)):
+            hierarchy.load(line * 64, 0, now=evq.now, callback=lambda t: None)
+            evq.run_all()
+        assert memory.stats.reads == 0

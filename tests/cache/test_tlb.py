@@ -1,0 +1,57 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cache.tlb import TLB
+
+
+class TestAccess:
+    def test_first_access_pays_penalty(self):
+        tlb = TLB(entries=4, page_bytes=8192, miss_penalty=30)
+        assert tlb.access(0) == 30
+        assert tlb.access(0) == 0
+
+    def test_same_page_different_offsets_hit(self):
+        tlb = TLB(entries=4, page_bytes=8192, miss_penalty=30)
+        tlb.access(0)
+        assert tlb.access(8191) == 0
+        assert tlb.access(8192) == 30  # next page
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2, page_bytes=4096, miss_penalty=10)
+        tlb.access(0)          # page 0
+        tlb.access(4096)       # page 1
+        tlb.access(0)          # refresh page 0
+        tlb.access(2 * 4096)   # evicts page 1
+        assert tlb.access(0) == 0
+        assert tlb.access(4096) == 10
+
+    def test_capacity_bounded(self):
+        tlb = TLB(entries=8, page_bytes=4096)
+        for page in range(100):
+            tlb.access(page * 4096)
+        assert tlb.resident == 8
+
+    def test_stats(self):
+        tlb = TLB(entries=4)
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.stats.rate == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigError):
+            TLB(entries=0)
+
+    def test_non_power_of_two_page_rejected(self):
+        with pytest.raises(ConfigError):
+            TLB(page_bytes=1000)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigError):
+            TLB(miss_penalty=-1)
+
+    def test_zero_penalty_allowed(self):
+        assert TLB(miss_penalty=0).access(0) == 0

@@ -1,0 +1,76 @@
+"""Tests for the slot calendar (per-cycle bandwidth resource)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.calendar import SlotCalendar
+from repro.common.errors import SimulationError
+
+
+class TestAllocation:
+    def test_fills_width_before_moving_on(self):
+        cal = SlotCalendar(width=2)
+        assert [cal.allocate(10) for _ in range(5)] == [10, 10, 11, 11, 12]
+
+    def test_width_one_serializes(self):
+        cal = SlotCalendar(width=1)
+        assert [cal.allocate(0) for _ in range(3)] == [0, 1, 2]
+
+    def test_disjoint_cycles_independent(self):
+        cal = SlotCalendar(width=1)
+        assert cal.allocate(5) == 5
+        assert cal.allocate(100) == 100
+        assert cal.allocate(5) == 6
+
+    def test_out_of_order_requests_allowed(self):
+        cal = SlotCalendar(width=1)
+        assert cal.allocate(50) == 50
+        assert cal.allocate(10) == 10  # earlier earliest, later call
+
+    def test_occupancy_reflects_reservations(self):
+        cal = SlotCalendar(width=4)
+        cal.allocate(3)
+        cal.allocate(3)
+        assert cal.occupancy(3) == 2
+        assert cal.occupancy(4) == 0
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            SlotCalendar(width=0)
+
+
+class TestFloor:
+    def test_allocation_below_floor_raises(self):
+        cal = SlotCalendar(width=2)
+        cal.advance_floor(100)
+        with pytest.raises(SimulationError):
+            cal.allocate(99)
+
+    def test_allocation_at_floor_ok(self):
+        cal = SlotCalendar(width=2)
+        cal.advance_floor(100)
+        assert cal.allocate(100) == 100
+
+    def test_floor_never_retreats(self):
+        cal = SlotCalendar(width=2)
+        cal.advance_floor(100)
+        cal.advance_floor(50)  # ignored
+        with pytest.raises(SimulationError):
+            cal.allocate(60)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                    max_size=60))
+    def test_never_exceeds_width(self, earliests):
+        cal = SlotCalendar(width=3)
+        granted = [cal.allocate(e) for e in earliests]
+        for cycle in set(granted):
+            assert granted.count(cycle) <= 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                    max_size=60))
+    def test_grant_never_before_earliest(self, earliests):
+        cal = SlotCalendar(width=2)
+        for e in earliests:
+            assert cal.allocate(e) >= e

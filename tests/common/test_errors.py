@@ -1,0 +1,23 @@
+"""Tests for the exception hierarchy."""
+
+from repro.common.errors import ConfigError, ReproError, SimulationError
+
+
+def test_config_error_is_repro_error():
+    assert issubclass(ConfigError, ReproError)
+
+
+def test_simulation_error_is_repro_error():
+    assert issubclass(SimulationError, ReproError)
+
+
+def test_repro_error_is_exception_not_base_exception_only():
+    assert issubclass(ReproError, Exception)
+
+
+def test_catching_repro_error_covers_both():
+    for exc in (ConfigError("x"), SimulationError("y")):
+        try:
+            raise exc
+        except ReproError as caught:
+            assert str(caught) in ("x", "y")

@@ -1,0 +1,168 @@
+"""Tests for counters and (time-weighted) histograms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import (
+    RateCounter,
+    TimeWeightedHistogram,
+    WeightedHistogram,
+    format_distribution,
+)
+
+
+class TestRateCounter:
+    def test_empty_rates_are_zero(self):
+        c = RateCounter()
+        assert c.rate == 0.0
+        assert c.miss_rate == 0.0
+
+    def test_rate_and_miss_rate_complementary(self):
+        c = RateCounter()
+        c.record(True)
+        c.record(False)
+        c.record(False)
+        assert c.rate == pytest.approx(1 / 3)
+        assert c.miss_rate == pytest.approx(2 / 3)
+        assert c.misses == 2
+
+    def test_bulk_count(self):
+        c = RateCounter()
+        c.record(True, count=10)
+        c.record(False, count=30)
+        assert c.rate == pytest.approx(0.25)
+
+    def test_merge(self):
+        a, b = RateCounter(), RateCounter()
+        a.record(True)
+        b.record(False)
+        b.record(False)
+        a.merge(b)
+        assert a.total == 3
+        assert a.hits == 1
+
+
+class TestWeightedHistogram:
+    def test_normalized_sums_to_one(self):
+        h = WeightedHistogram()
+        h.add(1, 3.0)
+        h.add(2, 1.0)
+        dist = h.normalized()
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist[1] == pytest.approx(0.75)
+
+    def test_empty_normalized_is_empty(self):
+        assert WeightedHistogram().normalized() == {}
+
+    def test_zero_weight_ignored(self):
+        h = WeightedHistogram()
+        h.add(5, 0.0)
+        assert h.as_dict() == {}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedHistogram().add(1, -1.0)
+
+    def test_probability_at_least(self):
+        h = WeightedHistogram()
+        h.add(1, 1.0)
+        h.add(4, 1.0)
+        h.add(9, 2.0)
+        assert h.probability_at_least(4) == pytest.approx(0.75)
+        assert h.probability_at_least(100) == 0.0
+
+    def test_mean(self):
+        h = WeightedHistogram()
+        h.add(2, 1.0)
+        h.add(4, 1.0)
+        assert h.mean() == pytest.approx(3.0)
+
+    def test_mean_of_empty_is_zero(self):
+        assert WeightedHistogram().mean() == 0.0
+
+    def test_bucketed_labels_and_sums(self):
+        h = WeightedHistogram()
+        h.add(1, 1.0)
+        h.add(3, 1.0)
+        h.add(20, 2.0)
+        buckets = h.bucketed((1, 2, 4, 8, 16))
+        assert list(buckets) == ["1", "2-3", "4-7", "8-15", "16+"]
+        assert buckets["1"] == pytest.approx(0.25)
+        assert buckets["2-3"] == pytest.approx(0.25)
+        assert buckets["16+"] == pytest.approx(0.5)
+        assert sum(buckets.values()) == pytest.approx(1.0)
+
+    def test_bucketed_requires_edges(self):
+        with pytest.raises(ValueError):
+            WeightedHistogram().bucketed(())
+
+    def test_merge_adds_weights(self):
+        a, b = WeightedHistogram(), WeightedHistogram()
+        a.add(1, 1.0)
+        b.add(1, 2.0)
+        b.add(2, 1.0)
+        a.merge(b)
+        assert a.as_dict() == {1: 3.0, 2: 1.0}
+
+    @given(st.lists(st.tuples(st.integers(0, 20),
+                              st.floats(0.01, 10.0)), min_size=1))
+    def test_total_weight_is_sum(self, pairs):
+        h = WeightedHistogram()
+        for value, weight in pairs:
+            h.add(value, weight)
+        assert h.total_weight == pytest.approx(sum(w for _, w in pairs))
+
+
+class TestTimeWeightedHistogram:
+    def test_credits_elapsed_time_to_previous_value(self):
+        h = TimeWeightedHistogram()
+        h.observe(0, 3)
+        h.observe(10, 5)
+        h.finish(15)
+        assert h.as_dict() == {3: 10.0, 5: 5.0}
+
+    def test_repeated_observation_same_time_no_weight(self):
+        h = TimeWeightedHistogram()
+        h.observe(5, 1)
+        h.observe(5, 2)
+        h.finish(5)
+        assert h.total_weight == 0.0
+
+    def test_backwards_time_raises(self):
+        h = TimeWeightedHistogram()
+        h.observe(10, 1)
+        with pytest.raises(ValueError):
+            h.observe(5, 2)
+
+    def test_finish_is_idempotent(self):
+        h = TimeWeightedHistogram()
+        h.observe(0, 1)
+        h.finish(10)
+        h.finish(10)
+        assert h.as_dict() == {1: 10.0}
+
+    def test_finish_without_observations_is_noop(self):
+        h = TimeWeightedHistogram()
+        h.finish(100)
+        assert h.as_dict() == {}
+
+    @given(st.lists(st.tuples(st.integers(1, 10), st.integers(0, 8)),
+                    min_size=1, max_size=30))
+    def test_total_weight_equals_elapsed_time(self, steps):
+        h = TimeWeightedHistogram()
+        t = 0
+        h.observe(t, 0)
+        for delta, value in steps:
+            t += delta
+            h.observe(t, value)
+        h.finish(t + 5)
+        assert h.total_weight == pytest.approx(t + 5)
+
+
+class TestFormatDistribution:
+    def test_empty(self):
+        assert format_distribution({}) == "(empty)"
+
+    def test_contains_labels_and_percentages(self):
+        text = format_distribution({"1": 0.5, "2+": 0.5}, width=4)
+        assert "1" in text and "2+" in text and "50.0%" in text

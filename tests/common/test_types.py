@@ -1,0 +1,60 @@
+"""Tests for shared types: op classes and memory requests."""
+
+import pytest
+
+from repro.common.types import MemAccessType, MemRequest, OpClass
+
+
+class TestOpClass:
+    def test_memory_classes(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.INT_ALU.is_memory
+        assert not OpClass.BRANCH.is_memory
+
+    def test_fp_classes(self):
+        assert OpClass.FP_ALU.is_fp
+        assert OpClass.FP_MULT.is_fp
+        assert not OpClass.INT_MULT.is_fp
+        assert not OpClass.LOAD.is_fp
+
+
+class TestMemRequest:
+    def test_read_flag(self):
+        r = MemRequest(0x10, MemAccessType.READ, 0, arrival=5)
+        w = MemRequest(0x10, MemAccessType.WRITE, 0, arrival=5)
+        assert r.is_read
+        assert not w.is_read
+
+    def test_age(self):
+        r = MemRequest(0, MemAccessType.READ, 0, arrival=100)
+        assert r.age(150) == 50
+
+    def test_ids_unique_and_increasing(self):
+        a = MemRequest(0, MemAccessType.READ, 0, arrival=0)
+        b = MemRequest(0, MemAccessType.READ, 0, arrival=0)
+        assert b.req_id > a.req_id
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemRequest(-1, MemAccessType.READ, 0, arrival=0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            MemRequest(0, MemAccessType.READ, 0, arrival=-1)
+
+    def test_snapshots_stored(self):
+        r = MemRequest(
+            0, MemAccessType.READ, 3, arrival=0,
+            rob_occupancy=17, iq_occupancy=9,
+        )
+        assert r.thread_id == 3
+        assert r.rob_occupancy == 17
+        assert r.iq_occupancy == 9
+
+    def test_mapping_fields_start_unset(self):
+        r = MemRequest(0, MemAccessType.READ, 0, arrival=0)
+        assert r.channel == -1
+        assert r.bank == -1
+        assert r.row == -1
+        assert r.finish_time == -1

@@ -1,0 +1,40 @@
+"""Shared fixtures: small, fast system configurations for tests.
+
+Simulation tests use heavily scaled-down systems (scale 32, tiny
+instruction budgets) so the whole suite stays fast while still
+exercising every code path of the real models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.events import EventQueue
+from repro.experiments.config import SystemConfig
+
+
+@pytest.fixture
+def event_queue() -> EventQueue:
+    return EventQueue()
+
+
+@pytest.fixture
+def quick_config() -> SystemConfig:
+    """A tiny configuration for fast end-to-end tests."""
+    return SystemConfig(
+        scale=32,
+        instructions_per_thread=800,
+        warmup_instructions=200,
+        seed=1234,
+    )
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """An even smaller configuration for figure-driver smoke tests."""
+    return SystemConfig(
+        scale=32,
+        instructions_per_thread=300,
+        warmup_instructions=100,
+        seed=99,
+    )

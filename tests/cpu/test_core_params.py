@@ -1,0 +1,87 @@
+"""Core behaviour under non-default pipeline parameters."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).resolve().parents[1]))
+from cpu.test_core import build_core  # noqa: E402
+
+from repro.common.errors import ConfigError  # noqa: E402
+from repro.cpu.core import CoreParams  # noqa: E402
+
+
+class TestWidths:
+    def test_narrow_fetch_slows_ilp(self):
+        wide, _, _ = build_core(["eon"])
+        narrow, _, _ = build_core(
+            ["eon"], params=CoreParams(fetch_width=2)
+        )
+        w = wide.run(600, warmup_instructions=100)
+        n = narrow.run(600, warmup_instructions=100)
+        assert n.threads[0].ipc < w.threads[0].ipc
+
+    def test_single_fetch_thread_serializes_smt(self):
+        both, _, _ = build_core(["eon", "sixtrack"])
+        single, _, _ = build_core(
+            ["eon", "sixtrack"], params=CoreParams(fetch_threads=1)
+        )
+        b = both.run(500, warmup_instructions=100)
+        s = single.run(500, warmup_instructions=100)
+        assert s.throughput_ipc < b.throughput_ipc
+
+    def test_narrow_issue_caps_ipc(self):
+        core, _, _ = build_core(
+            ["eon"], params=CoreParams(int_issue_width=1, fp_issue_width=1)
+        )
+        result = core.run(500, warmup_instructions=100)
+        assert result.threads[0].ipc <= 2.0  # 1 int + 1 fp per cycle max
+
+    def test_commit_width_one_bounds_throughput(self):
+        core, _, _ = build_core(
+            ["eon", "sixtrack"], params=CoreParams(commit_width=1)
+        )
+        result = core.run(400, warmup_instructions=100)
+        assert result.throughput_ipc <= 1.01
+
+
+class TestQueues:
+    def test_tiny_lsq_throttles_memory_heavy_mix(self):
+        base, _, _ = build_core(["swim"])
+        tiny, _, _ = build_core(
+            ["swim"], params=CoreParams(lq_size=2, sq_size=2)
+        )
+        b = base.run(500, warmup_instructions=100)
+        t = tiny.run(500, warmup_instructions=100)
+        assert t.threads[0].ipc <= b.threads[0].ipc
+
+    def test_tiny_rob_registers_rob_full_stalls(self):
+        core, _, _ = build_core(["mcf"], params=CoreParams(rob_size=8))
+        result = core.run(500, warmup_instructions=100)
+        assert result.stall_cycles["rob_full"] > 0
+
+    def test_params_validated(self):
+        with pytest.raises(ConfigError):
+            CoreParams(fetch_width=0)
+        with pytest.raises(ConfigError):
+            CoreParams(rob_size=-1)
+
+
+class TestLatencies:
+    def test_custom_latency_table_respected(self):
+        from repro.common.types import OpClass
+
+        slow = CoreParams(
+            latencies={
+                OpClass.INT_ALU: 5,
+                OpClass.INT_MULT: 20,
+                OpClass.FP_ALU: 10,
+                OpClass.FP_MULT: 10,
+                OpClass.BRANCH: 5,
+            }
+        )
+        fast_core, _, _ = build_core(["eon"])
+        slow_core, _, _ = build_core(["eon"], params=slow)
+        f = fast_core.run(400, warmup_instructions=100)
+        s = slow_core.run(400, warmup_instructions=100)
+        assert s.threads[0].ipc < f.threads[0].ipc

@@ -1,0 +1,148 @@
+"""Tests for the fetch policies."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.fetch import (
+    DGPolicy,
+    DWarnPolicy,
+    FetchStallPolicy,
+    ICountPolicy,
+    RoundRobinPolicy,
+    fetch_policy_names,
+    make_fetch_policy,
+)
+
+
+class FakeThread:
+    def __init__(self, tid, unissued=0):
+        self.thread_id = tid
+        self.unissued = unissued
+
+
+class FakeHierarchy:
+    def __init__(self, l1_misses=None, l2_misses=None):
+        self._l1 = l1_misses or {}
+        self._l2 = l2_misses or {}
+
+    def outstanding_l1_misses(self, tid):
+        return self._l1.get(tid, 0)
+
+    def outstanding_l2_misses(self, tid):
+        return self._l2.get(tid, 0)
+
+
+class FakeCoreParams:
+    int_iq_size = 64
+
+
+class FakeCore:
+    def __init__(self, threads, hierarchy=None, int_iq_used=0):
+        self.threads = threads
+        self.hierarchy = hierarchy or FakeHierarchy()
+        self.int_iq_used = int_iq_used
+        self.params = FakeCoreParams()
+
+
+class TestICount:
+    def test_fewest_unissued_first(self):
+        threads = [FakeThread(0, 30), FakeThread(1, 5), FakeThread(2, 12)]
+        order = ICountPolicy().order(threads, FakeCore(threads), 0)
+        assert [t.thread_id for t in order] == [1, 2, 0]
+
+    def test_tid_breaks_ties(self):
+        threads = [FakeThread(1, 5), FakeThread(0, 5)]
+        order = ICountPolicy().order(threads, FakeCore(threads), 0)
+        assert [t.thread_id for t in order] == [0, 1]
+
+
+class TestRoundRobin:
+    def test_rotation_by_cycle(self):
+        threads = [FakeThread(i) for i in range(3)]
+        core = FakeCore(threads)
+        policy = RoundRobinPolicy()
+        assert [t.thread_id for t in policy.order(threads, core, 0)] == [0, 1, 2]
+        assert [t.thread_id for t in policy.order(threads, core, 1)] == [1, 2, 0]
+        assert [t.thread_id for t in policy.order(threads, core, 2)] == [2, 0, 1]
+
+    def test_empty(self):
+        assert RoundRobinPolicy().order([], FakeCore([]), 5) == []
+
+
+class TestFetchStall:
+    def test_gates_threads_with_l2_misses(self):
+        threads = [FakeThread(0, 1), FakeThread(1, 2)]
+        core = FakeCore(threads, FakeHierarchy(l2_misses={0: 1}))
+        order = FetchStallPolicy().order(threads, core, 0)
+        assert [t.thread_id for t in order] == [1]
+
+    def test_keeps_one_when_all_gated(self):
+        threads = [FakeThread(0, 9), FakeThread(1, 2)]
+        core = FakeCore(threads, FakeHierarchy(l2_misses={0: 1, 1: 1}))
+        order = FetchStallPolicy().order(threads, core, 0)
+        assert [t.thread_id for t in order] == [1]  # least loaded
+
+    def test_empty_eligible(self):
+        core = FakeCore([], FakeHierarchy())
+        assert FetchStallPolicy().order([], core, 0) == []
+
+
+class TestDG:
+    def test_blocks_missing_threads_completely(self):
+        threads = [FakeThread(0), FakeThread(1)]
+        core = FakeCore(threads, FakeHierarchy(l2_misses={0: 2}))
+        order = DGPolicy().order(threads, core, 0)
+        assert [t.thread_id for t in order] == [1]
+
+    def test_all_blocked_returns_empty(self):
+        threads = [FakeThread(0), FakeThread(1)]
+        core = FakeCore(threads, FakeHierarchy(l2_misses={0: 1, 1: 1}))
+        assert DGPolicy().order(threads, core, 0) == []
+
+
+class TestDWarn:
+    def test_clean_group_first(self):
+        threads = [FakeThread(0, 1), FakeThread(1, 99), FakeThread(2, 5)]
+        core = FakeCore(threads, FakeHierarchy(l2_misses={0: 1}))
+        order = DWarnPolicy().order(threads, core, 0)
+        # clean: 2 (5), 1 (99); warned: 0
+        assert [t.thread_id for t in order] == [2, 1, 0]
+
+    def test_warned_throttled_under_iq_pressure(self):
+        threads = [FakeThread(0, 1), FakeThread(1, 2)]
+        core = FakeCore(
+            threads, FakeHierarchy(l2_misses={0: 1}), int_iq_used=60
+        )
+        order = DWarnPolicy().order(threads, core, 0)
+        assert [t.thread_id for t in order] == [1]  # warned thread dropped
+
+    def test_all_warned_under_pressure_keeps_one(self):
+        threads = [FakeThread(0, 9), FakeThread(1, 2)]
+        core = FakeCore(
+            threads, FakeHierarchy(l2_misses={0: 1, 1: 1}), int_iq_used=60
+        )
+        order = DWarnPolicy().order(threads, core, 0)
+        assert [t.thread_id for t in order] == [1]
+
+    def test_no_throttle_with_headroom(self):
+        threads = [FakeThread(0, 1), FakeThread(1, 2)]
+        core = FakeCore(
+            threads, FakeHierarchy(l2_misses={0: 1}), int_iq_used=10
+        )
+        order = DWarnPolicy().order(threads, core, 0)
+        assert [t.thread_id for t in order] == [1, 0]
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in fetch_policy_names():
+            assert make_fetch_policy(name).name == name
+
+    def test_paper_policies_present(self):
+        assert {"icount", "stall", "dg", "dwarn", "round-robin"} <= set(
+            fetch_policy_names()
+        )
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_fetch_policy("psychic")

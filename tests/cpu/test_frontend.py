@@ -1,0 +1,115 @@
+"""Front-end behaviour tests: mispredicts, I-cache stalls, redirect."""
+
+import random
+
+from repro.common.events import EventQueue
+from repro.common.types import OpClass
+from repro.cache.hierarchy import HierarchyParams, MemoryHierarchy
+from repro.cpu.core import CoreParams, SMTCore
+from repro.cpu.thread import FOREVER
+from repro.workloads.generator import SyntheticStream, Uop
+from repro.workloads.profile import AppProfile, Region
+
+
+class ScriptedStream:
+    """A stream that replays a fixed list then pads with INT_ALU."""
+
+    def __init__(self, uops):
+        self._uops = list(uops)
+        self._index = 0
+        self.profile = AppProfile(
+            name="scripted", category="ILP",
+            mem_frac=0.0, store_frac=0.0, branch_frac=0.0,
+            mispredict_rate=0.0, fp_frac=0.0, icache_miss_rate=0.0,
+            regions=(Region(size_lines=16, weight=1.0),),
+        )
+
+    def next_uop(self):
+        if self._index < len(self._uops):
+            uop = self._uops[self._index]
+            self._index += 1
+            return uop
+        return Uop(OpClass.INT_ALU)
+
+
+def build(uops, params=None):
+    evq = EventQueue()
+    hierarchy = MemoryHierarchy(
+        HierarchyParams(scale=64, perfect_l3=True, tlb_penalty=0), evq, None
+    )
+    core = SMTCore(
+        params or CoreParams(), evq, hierarchy, "icount",
+        [("scripted", ScriptedStream(uops))],
+        [random.Random(0)],
+    )
+    return core
+
+
+class TestMispredictRedirect:
+    def test_mispredicted_branch_blocks_fetch(self):
+        core = build([Uop(OpClass.BRANCH, mispredict=True)])
+        thread = core.threads[0]
+        core._tick()  # cycle 0: fetch the branch
+        # The branch resolves in-cycle (no deps), so fetch is blocked
+        # until its finish + the 9-cycle penalty.
+        assert thread.fetch_blocked_until > 1
+        assert thread.fetch_blocked_until < FOREVER
+
+    def test_nothing_fetched_behind_mispredict_same_cycle(self):
+        core = build([
+            Uop(OpClass.BRANCH, mispredict=True),
+            Uop(OpClass.INT_ALU),
+        ])
+        core._tick()
+        assert core.threads[0].fetched == 1  # only the branch
+
+    def test_correctly_predicted_branch_does_not_block(self):
+        core = build([Uop(OpClass.BRANCH, mispredict=False)])
+        core._tick()
+        assert core.threads[0].fetch_blocked_until <= 1
+
+    def test_fetch_resumes_after_penalty(self):
+        core = build([Uop(OpClass.BRANCH, mispredict=True)])
+        result = core.run(50)
+        assert result.reached_all_targets
+
+
+class TestFetchWidth:
+    def test_at_most_fetch_width_per_cycle(self):
+        core = build([])
+        core._tick()
+        assert core.threads[0].fetched <= core.params.fetch_width
+
+    def test_dependent_ops_still_dispatch(self):
+        # dep distances never stop dispatch, only issue timing.
+        core = build([
+            Uop(OpClass.INT_ALU),
+            Uop(OpClass.INT_ALU, dep1=1),
+            Uop(OpClass.INT_ALU, dep1=2, dep2=1),
+        ])
+        core._tick()
+        assert core.threads[0].fetched >= 3
+
+
+class TestIcacheStalls:
+    def test_icache_miss_rate_blocks_fetch_occasionally(self):
+        profile = AppProfile(
+            name="icachey", category="ILP",
+            mem_frac=0.0, store_frac=0.0, branch_frac=0.0,
+            mispredict_rate=0.0, fp_frac=0.0, icache_miss_rate=1.0,
+            regions=(Region(size_lines=16, weight=1.0),),
+        )
+        evq = EventQueue()
+        hierarchy = MemoryHierarchy(
+            HierarchyParams(scale=64, perfect_l3=True, tlb_penalty=0),
+            evq, None,
+        )
+        stream = SyntheticStream(profile, random.Random(1), scale=64)
+        core = SMTCore(
+            CoreParams(), evq, hierarchy, "icount",
+            [("icachey", stream)], [random.Random(2)],
+        )
+        core._tick()
+        # every fetch group misses: nothing dispatched, thread stalled
+        assert core.threads[0].fetched == 0
+        assert core.threads[0].fetch_blocked_until > 1

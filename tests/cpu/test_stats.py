@@ -1,0 +1,56 @@
+"""Tests for core result records."""
+
+import pytest
+
+from repro.cpu.stats import CoreResult, ThreadResult
+
+
+def thread(tid=0, committed=1000, cycles=500, dram=10, app="gzip"):
+    return ThreadResult(
+        thread_id=tid, app_name=app, committed=committed, cycles=cycles,
+        dram_accesses=dram,
+    )
+
+
+class TestThreadResult:
+    def test_ipc_cpi(self):
+        t = thread(committed=1000, cycles=500)
+        assert t.ipc == 2.0
+        assert t.cpi == 0.5
+
+    def test_zero_cycles_ipc_zero(self):
+        assert thread(cycles=0).ipc == 0.0
+
+    def test_zero_committed_cpi_inf(self):
+        assert thread(committed=0).cpi == float("inf")
+
+    def test_dram_per_100(self):
+        t = thread(committed=1000, dram=25)
+        assert t.dram_per_100_instructions == pytest.approx(2.5)
+
+    def test_dram_per_100_empty(self):
+        assert thread(committed=0).dram_per_100_instructions == 0.0
+
+
+class TestCoreResult:
+    def test_aggregates(self):
+        r = CoreResult(
+            cycles=1000,
+            threads=(thread(0, 500, 1000), thread(1, 1500, 1000)),
+            reached_all_targets=True,
+            fetch_policy="dwarn",
+        )
+        assert r.total_committed == 2000
+        assert r.throughput_ipc == 2.0
+        assert r.ipc_of(1) == 1.5
+
+    def test_str_contains_threads(self):
+        r = CoreResult(
+            cycles=100,
+            threads=(thread(0, app="mcf"),),
+            reached_all_targets=True,
+            fetch_policy="icount",
+        )
+        text = str(r)
+        assert "mcf" in text
+        assert "icount" in text

@@ -1,0 +1,87 @@
+"""Tests for per-thread pipeline state."""
+
+import random
+
+from repro.common.types import OpClass
+from repro.cpu.thread import FOREVER, Inflight, ThreadContext
+from repro.workloads.generator import SyntheticStream
+from repro.workloads.spec2000 import get_profile
+
+
+def make_thread(rob_size=8):
+    stream = SyntheticStream(
+        get_profile("gzip"), random.Random(1), thread_id=0, scale=32
+    )
+    return ThreadContext(0, "gzip", stream, rob_size, random.Random(2))
+
+
+def node(thread, seq, opc=OpClass.INT_ALU):
+    n = Inflight(thread.thread_id, seq, opc, 0, False, 0)
+    thread.ring[seq % len(thread.ring)] = n
+    return n
+
+
+class TestInflight:
+    def test_waiters_lazy(self):
+        n = Inflight(0, 0, OpClass.INT_ALU, 0, False, 0)
+        assert n.waiters is None
+        n.add_waiter("x")
+        n.add_waiter("y")
+        assert n.waiters == ["x", "y"]
+
+
+class TestProducerLookup:
+    def test_finds_recent_producer(self):
+        t = make_thread()
+        n = node(t, 0)
+        t.seq = 1
+        assert t.producer(1) is n
+
+    def test_negative_seq_returns_none(self):
+        t = make_thread()
+        t.seq = 2
+        assert t.producer(5) is None
+
+    def test_overwritten_ring_slot_returns_none(self):
+        t = make_thread()
+        node(t, 0)
+        ring_size = len(t.ring)
+        newer = node(t, ring_size)  # same slot, different seq
+        t.seq = ring_size + 1
+        assert t.producer(ring_size + 1) is None  # seq 0 aged out
+        assert t.producer(1) is newer
+
+
+class TestFetchEligibility:
+    def test_blocked_until_respected(self):
+        t = make_thread()
+        t.fetch_blocked_until = 10
+        assert not t.can_fetch(9)
+        assert t.can_fetch(10)
+
+    def test_rob_full_blocks(self):
+        t = make_thread(rob_size=1)
+        t.rob.append(node(t, 0))
+        assert t.rob_full
+        assert not t.can_fetch(100)
+
+    def test_forever_sentinel_is_huge(self):
+        assert FOREVER > 10**15
+
+
+class TestProgressTracking:
+    def test_measured_committed(self):
+        t = make_thread()
+        t.committed = 120
+        t.warmup_committed = 100
+        t.target = 30
+        assert t.measured_committed() == 20
+        assert not t.reached_target()
+        t.committed = 130
+        assert t.reached_target()
+
+    def test_rob_occupancy(self):
+        t = make_thread()
+        assert t.rob_occupancy == 0
+        t.rob.append(node(t, 0))
+        assert t.rob_occupancy == 1

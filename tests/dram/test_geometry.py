@@ -1,0 +1,83 @@
+"""Tests for DRAM geometry and channel ganging."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dram.geometry import DRAMGeometry, ddr_geometry, rdram_geometry
+
+
+class TestDDRGeometry:
+    def test_two_channel_system_has_eight_banks(self):
+        # Section 5.4: "eight for the 2-channel system"
+        g = ddr_geometry(physical_channels=2)
+        assert g.total_banks == 8
+        assert g.banks_per_logical_channel == 4
+
+    def test_channel_counts(self):
+        for n in (2, 4, 8):
+            g = ddr_geometry(physical_channels=n)
+            assert g.logical_channels == n
+            assert g.total_banks == 4 * n
+
+    def test_page_size(self):
+        g = ddr_geometry()
+        assert g.page_bytes == 2048
+        assert g.lines_per_page == 32
+
+
+class TestRDRAMGeometry:
+    def test_many_independent_banks(self):
+        # 32 banks/chip (Section 5.4), 4 chips per channel
+        g = rdram_geometry(physical_channels=2)
+        assert g.banks_per_logical_channel == 128
+        assert g.total_banks == 256
+
+    def test_narrow_page(self):
+        assert rdram_geometry().page_bytes == 1024
+
+
+class TestGanging:
+    def test_gang_reduces_logical_channels(self):
+        g = ddr_geometry(physical_channels=8, gang=4)
+        assert g.logical_channels == 2
+
+    def test_gang_does_not_add_banks(self):
+        independent = ddr_geometry(physical_channels=8, gang=1)
+        ganged = ddr_geometry(physical_channels=8, gang=4)
+        assert (
+            ganged.banks_per_logical_channel
+            == independent.banks_per_logical_channel
+        )
+        # ... so total independent banks shrink with ganging.
+        assert ganged.total_banks < independent.total_banks
+
+    def test_gang_widens_effective_page(self):
+        g = ddr_geometry(physical_channels=4, gang=2)
+        assert g.effective_page_bytes == 4096
+        assert g.lines_per_page == 64
+
+    def test_gang_must_divide_channels(self):
+        with pytest.raises(ConfigError):
+            ddr_geometry(physical_channels=8, gang=3)
+
+    def test_organization_name(self):
+        assert ddr_geometry(8, gang=2).organization_name() == "8C-2G"
+        assert ddr_geometry(2, gang=1).organization_name() == "2C-1G"
+
+
+class TestValidation:
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ConfigError):
+            DRAMGeometry(physical_channels=0)
+
+    def test_page_must_hold_whole_lines(self):
+        with pytest.raises(ConfigError):
+            DRAMGeometry(page_bytes=100, line_bytes=64)
+
+    def test_bank_count_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            DRAMGeometry(groups_per_channel=3, banks_per_group=1)
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            DRAMGeometry(rows_per_bank=0)

@@ -1,0 +1,183 @@
+"""Tests for page-interleaved and XOR address mappings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.dram.geometry import ddr_geometry, rdram_geometry
+from repro.dram.mapping import (
+    PageInterleaveMapping,
+    XorPageMapping,
+    make_mapping,
+)
+
+
+@pytest.fixture
+def ddr2():
+    return ddr_geometry(physical_channels=2)
+
+
+class TestPageInterleave:
+    def test_lines_within_page_map_together(self, ddr2):
+        m = PageInterleaveMapping(ddr2)
+        lines_per_page = ddr2.lines_per_page
+        first = m.map_line(0)
+        for line in range(lines_per_page):
+            assert m.map_line(line) == first
+
+    def test_consecutive_pages_round_robin_channels(self, ddr2):
+        m = PageInterleaveMapping(ddr2)
+        lpp = ddr2.lines_per_page
+        channels = [m.map_line(p * lpp).channel for p in range(4)]
+        assert channels == [0, 1, 0, 1]
+
+    def test_banks_cycle_after_channels(self, ddr2):
+        m = PageInterleaveMapping(ddr2)
+        lpp = ddr2.lines_per_page
+        # pages 0 and 2 are both on channel 0, in consecutive banks
+        a = m.map_line(0)
+        b = m.map_line(2 * lpp)
+        assert a.channel == b.channel == 0
+        assert b.bank == (a.bank + 1) % ddr2.banks_per_logical_channel
+
+    def test_row_advances_after_all_banks(self, ddr2):
+        m = PageInterleaveMapping(ddr2)
+        lpp = ddr2.lines_per_page
+        pages_per_row = ddr2.logical_channels * ddr2.banks_per_logical_channel
+        a = m.map_line(0)
+        b = m.map_line(pages_per_row * lpp)
+        assert (b.channel, b.bank) == (a.channel, a.bank)
+        assert b.row == a.row + 1
+
+    def test_fields_in_range(self, ddr2):
+        m = PageInterleaveMapping(ddr2)
+        for line in range(0, 100000, 37):
+            mapped = m.map_line(line)
+            assert 0 <= mapped.channel < ddr2.logical_channels
+            assert 0 <= mapped.bank < ddr2.banks_per_logical_channel
+            assert 0 <= mapped.row < ddr2.rows_per_bank
+
+
+class TestXorMapping:
+    def test_same_channel_and_row_as_page_mapping(self, ddr2):
+        page = PageInterleaveMapping(ddr2)
+        xor = XorPageMapping(ddr2)
+        for line in range(0, 50000, 61):
+            p, x = page.map_line(line), xor.map_line(line)
+            assert p.channel == x.channel
+            assert p.row == x.row
+
+    def test_bank_permutation_is_bijective_per_row(self, ddr2):
+        xor = XorPageMapping(ddr2)
+        banks = ddr2.banks_per_logical_channel
+        for row in (0, 1, 5, 1000):
+            permuted = {xor._permute_bank(b, row, 0) for b in range(banks)}
+            assert permuted == set(range(banks))
+
+    def test_spreads_same_bank_conflicts(self):
+        # Pages that collide on one bank under page interleaving land
+        # on different banks under XOR (the scheme's whole point).
+        geometry = ddr_geometry(physical_channels=2)
+        page = PageInterleaveMapping(geometry)
+        xor = XorPageMapping(geometry)
+        lpp = geometry.lines_per_page
+        stride = geometry.logical_channels * geometry.banks_per_logical_channel
+        lines = [p * stride * lpp for p in range(8)]  # same bank, rows 0..7
+        page_banks = {page.map_line(line).bank for line in lines}
+        xor_banks = {xor.map_line(line).bank for line in lines}
+        assert len(page_banks) == 1
+        assert len(xor_banks) == geometry.banks_per_logical_channel
+
+    def test_rdram_many_banks(self):
+        geometry = rdram_geometry()
+        xor = XorPageMapping(geometry)
+        mapped = xor.map_line(123456)
+        assert 0 <= mapped.bank < 128
+
+
+class TestFactory:
+    def test_known_names(self, ddr2):
+        assert isinstance(make_mapping("page", ddr2), PageInterleaveMapping)
+        assert isinstance(make_mapping("xor", ddr2), XorPageMapping)
+
+    def test_unknown_name(self, ddr2):
+        with pytest.raises(ConfigError):
+            make_mapping("banana", ddr2)
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_page_mapping_total_function(self, line):
+        geometry = ddr_geometry(physical_channels=4)
+        m = PageInterleaveMapping(geometry)
+        mapped = m.map_line(line)
+        assert 0 <= mapped.channel < 4
+        assert 0 <= mapped.bank < 4
+        assert 0 <= mapped.row < geometry.rows_per_bank
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_xor_mapping_total_function(self, line):
+        geometry = rdram_geometry(physical_channels=2)
+        m = XorPageMapping(geometry)
+        mapped = m.map_line(line)
+        assert 0 <= mapped.channel < 2
+        assert 0 <= mapped.bank < 128
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_mappings_distinct_within_capacity(self, page_index):
+        """Two distinct pages within one row-cycle never share
+        (channel, bank, row) under either mapping."""
+        geometry = ddr_geometry(physical_channels=2)
+        lpp = geometry.lines_per_page
+        capacity_pages = (
+            geometry.logical_channels
+            * geometry.banks_per_logical_channel
+            * geometry.rows_per_bank
+        )
+        a = page_index % capacity_pages
+        b = (page_index + 1) % capacity_pages
+        for mapping_cls in (PageInterleaveMapping, XorPageMapping):
+            m = mapping_cls(geometry)
+            if a != b:
+                assert m.map_line(a * lpp) != m.map_line(b * lpp)
+
+
+class TestColorXorMapping:
+    """Extension mapping: thread-color bits folded into the bank bits."""
+
+    def test_registered_in_factory(self, ddr2):
+        from repro.dram.mapping import ColorXorMapping
+
+        assert isinstance(make_mapping("color-xor", ddr2), ColorXorMapping)
+
+    def test_channel_and_row_unchanged(self, ddr2):
+        from repro.dram.mapping import ColorXorMapping
+
+        page = PageInterleaveMapping(ddr2)
+        color = ColorXorMapping(ddr2)
+        for line in range(0, 50000, 61):
+            p, c = page.map_line(line), color.map_line(line)
+            assert p.channel == c.channel
+            assert p.row == c.row
+
+    def test_separates_equal_offsets_of_different_threads(self, ddr2):
+        from repro.dram.mapping import ColorXorMapping
+        from repro.workloads.generator import THREAD_ADDRESS_STRIDE
+
+        xor = XorPageMapping(ddr2)
+        color = ColorXorMapping(ddr2)
+        stride_lines = THREAD_ADDRESS_STRIDE // 64
+        lines = [tid * stride_lines for tid in range(1, 5)]
+        xor_banks = [xor.map_line(line).bank for line in lines]
+        color_banks = [color.map_line(line).bank for line in lines]
+        # Under plain XOR all four threads' base lines collide on one
+        # bank; the color mapping spreads them.
+        assert len(set(xor_banks)) == 1
+        assert len(set(color_banks)) > 1
+
+    def test_bank_in_range(self, ddr2):
+        from repro.dram.mapping import ColorXorMapping
+
+        color = ColorXorMapping(ddr2)
+        for line in range(0, 10**7, 999983):
+            assert 0 <= color.map_line(line).bank < 4

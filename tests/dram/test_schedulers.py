@@ -1,0 +1,213 @@
+"""Tests for DRAM access schedulers (Sections 3 and 5.5)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import MemAccessType, MemRequest
+from repro.dram.schedulers import (
+    AgeBasedScheduler,
+    FcfsScheduler,
+    HitFirstScheduler,
+    IqBasedScheduler,
+    ReadFirstScheduler,
+    RequestBasedScheduler,
+    RobBasedScheduler,
+    make_scheduler,
+    scheduler_names,
+)
+
+
+class FakeContext:
+    """Scheduler context with scripted row-hit and outstanding info."""
+
+    def __init__(self, hits=(), outstanding=None):
+        self._hits = set(hits)
+        self._outstanding = outstanding or {}
+
+    def is_row_hit(self, request):
+        return request.req_id in self._hits
+
+    def outstanding_for_thread(self, thread_id):
+        return self._outstanding.get(thread_id, 0)
+
+
+def read(arrival=0, tid=0, rob=0, iq=0):
+    return MemRequest(
+        0x100, MemAccessType.READ, tid, arrival=arrival,
+        rob_occupancy=rob, iq_occupancy=iq,
+    )
+
+
+def write(arrival=0, tid=0):
+    return MemRequest(0x200, MemAccessType.WRITE, tid, arrival=arrival)
+
+
+class TestFcfs:
+    def test_picks_oldest(self):
+        old, new = read(arrival=1), read(arrival=5)
+        chosen = FcfsScheduler().select([new, old], 10, FakeContext())
+        assert chosen is old
+
+    def test_reads_bypass_writes(self):
+        w, r = write(arrival=0), read(arrival=9)
+        chosen = FcfsScheduler().select([w, r], 10, FakeContext())
+        assert chosen is r
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            FcfsScheduler().select([], 0, FakeContext())
+
+
+class TestHitFirst:
+    def test_hit_beats_older_miss(self):
+        miss, hit = read(arrival=0), read(arrival=9)
+        ctx = FakeContext(hits=[hit.req_id])
+        assert HitFirstScheduler().select([miss, hit], 10, ctx) is hit
+
+    def test_read_hit_beats_write_hit(self):
+        w, r = write(arrival=0), read(arrival=5)
+        ctx = FakeContext(hits=[w.req_id, r.req_id])
+        assert HitFirstScheduler().select([w, r], 10, ctx) is r
+
+    def test_arrival_breaks_ties(self):
+        a, b = read(arrival=1), read(arrival=2)
+        assert HitFirstScheduler().select([b, a], 10, FakeContext()) is a
+
+
+class TestReadFirst:
+    def test_read_miss_beats_write_hit(self):
+        w, r = write(arrival=0), read(arrival=9)
+        ctx = FakeContext(hits=[w.req_id])
+        assert ReadFirstScheduler().select([w, r], 10, ctx) is r
+
+
+class TestAgeBased:
+    def test_behaves_like_hit_first_under_threshold(self):
+        miss, hit = read(arrival=0), read(arrival=9)
+        ctx = FakeContext(hits=[hit.req_id])
+        assert AgeBasedScheduler().select([miss, hit], 10, ctx) is hit
+
+    def test_oldest_promoted_when_backlogged(self):
+        requests = [read(arrival=i + 1) for i in range(9)]
+        hit = requests[-1]  # newest is a hit
+        ctx = FakeContext(hits=[hit.req_id])
+        chosen = AgeBasedScheduler(backlog_threshold=8).select(
+            requests, 100, ctx
+        )
+        assert chosen is requests[0]  # oldest wins despite the hit
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigError):
+            AgeBasedScheduler(backlog_threshold=0)
+
+
+class TestRequestBased:
+    def test_fewest_outstanding_first(self):
+        a, b = read(arrival=0, tid=0), read(arrival=0, tid=1)
+        ctx = FakeContext(outstanding={0: 5, 1: 1})
+        assert RequestBasedScheduler().select([a, b], 10, ctx) is b
+
+    def test_hit_first_enforced_ahead(self):
+        # Paper 3.2: a read hit beats a read miss even from a thread
+        # with more pending requests.
+        busy_hit = read(arrival=0, tid=0)
+        idle_miss = read(arrival=0, tid=1)
+        ctx = FakeContext(
+            hits=[busy_hit.req_id], outstanding={0: 9, 1: 0}
+        )
+        chosen = RequestBasedScheduler().select([busy_hit, idle_miss], 10, ctx)
+        assert chosen is busy_hit
+
+    def test_arrival_breaks_outstanding_ties(self):
+        a, b = read(arrival=3, tid=0), read(arrival=1, tid=1)
+        ctx = FakeContext(outstanding={0: 2, 1: 2})
+        assert RequestBasedScheduler().select([a, b], 10, ctx) is b
+
+
+class TestRobBased:
+    def test_most_rob_entries_first(self):
+        light = read(arrival=0, tid=0, rob=10)
+        heavy = read(arrival=5, tid=1, rob=200)
+        chosen = RobBasedScheduler().select([light, heavy], 10, FakeContext())
+        assert chosen is heavy
+
+    def test_uses_piggybacked_snapshot_not_live_state(self):
+        # The ROB value travels with the request (possibly stale).
+        a = read(arrival=0, tid=0, rob=100)
+        b = read(arrival=0, tid=1, rob=50)
+        ctx = FakeContext(outstanding={0: 0, 1: 0})
+        assert RobBasedScheduler().select([a, b], 10, ctx) is a
+
+
+class TestIqBased:
+    def test_most_iq_entries_first(self):
+        light = read(arrival=0, tid=0, iq=2)
+        heavy = read(arrival=5, tid=1, iq=40)
+        chosen = IqBasedScheduler().select([light, heavy], 10, FakeContext())
+        assert chosen is heavy
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in scheduler_names():
+            assert make_scheduler(name).name == name
+
+    def test_paper_set_present(self):
+        names = set(scheduler_names())
+        assert {
+            "fcfs", "hit-first", "age-based",
+            "request-based", "rob-based", "iq-based",
+        } <= names
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_scheduler("lottery")
+
+
+class TestDeterminism:
+    def test_req_id_breaks_exact_ties(self):
+        a, b = read(arrival=0), read(arrival=0)
+        for scheduler_name in scheduler_names():
+            scheduler = make_scheduler(scheduler_name)
+            assert scheduler.select([a, b], 10, FakeContext()) is a
+            assert scheduler.select([b, a], 10, FakeContext()) is a
+
+
+class TestCriticalFirst:
+    def test_near_full_rob_request_wins(self):
+        from repro.dram.schedulers import CriticalFirstScheduler
+
+        relaxed = read(arrival=0, tid=0, rob=10)
+        critical = read(arrival=9, tid=1, rob=250)
+        chosen = CriticalFirstScheduler().select(
+            [relaxed, critical], 10, FakeContext()
+        )
+        assert chosen is critical
+
+    def test_hits_still_lead(self):
+        from repro.dram.schedulers import CriticalFirstScheduler
+
+        critical_miss = read(arrival=0, tid=0, rob=250)
+        relaxed_hit = read(arrival=5, tid=1, rob=10)
+        ctx = FakeContext(hits=[relaxed_hit.req_id])
+        chosen = CriticalFirstScheduler().select(
+            [critical_miss, relaxed_hit], 10, ctx
+        )
+        assert chosen is relaxed_hit
+
+    def test_threshold_configurable(self):
+        from repro.dram.schedulers import CriticalFirstScheduler
+
+        low = CriticalFirstScheduler(rob_threshold=5)
+        a = read(arrival=0, tid=0, rob=6)
+        b = read(arrival=1, tid=1, rob=4)
+        assert low.select([b, a], 10, FakeContext()) is a
+
+    def test_invalid_threshold(self):
+        from repro.dram.schedulers import CriticalFirstScheduler
+
+        with pytest.raises(ConfigError):
+            CriticalFirstScheduler(rob_threshold=0)
+
+    def test_in_factory(self):
+        assert make_scheduler("critical-first").name == "critical-first"

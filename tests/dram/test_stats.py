@@ -1,0 +1,98 @@
+"""Tests for the DRAM statistics bundle."""
+
+import pytest
+
+from repro.dram.stats import DRAMStats
+
+
+class TestServiceRecording:
+    def test_read_write_split(self):
+        s = DRAMStats()
+        s.record_service(True, False, 0)
+        s.record_service(False, False, 0)
+        s.record_service(True, True, 1)
+        assert s.reads == 2
+        assert s.writes == 1
+        assert s.total_requests == 3
+
+    def test_row_hit_rate(self):
+        s = DRAMStats()
+        s.record_service(True, True, 0)
+        s.record_service(True, False, 0)
+        assert s.row_hit_rate == pytest.approx(0.5)
+        assert s.row_miss_rate == pytest.approx(0.5)
+
+    def test_per_thread_service_counts(self):
+        s = DRAMStats()
+        for tid in (0, 0, 1):
+            s.record_service(True, False, tid)
+        assert s.served_per_thread == {0: 2, 1: 1}
+
+
+class TestLatency:
+    def test_averages(self):
+        s = DRAMStats()
+        s.record_service(True, False, 0)
+        s.record_service(True, False, 0)
+        s.reads = 2
+        s.record_read_latency(100, 10, 0)
+        s.record_read_latency(300, 30, 1)
+        assert s.avg_read_latency == pytest.approx(200.0)
+        assert s.avg_read_queue_delay == pytest.approx(20.0)
+
+    def test_per_thread_latency(self):
+        s = DRAMStats()
+        s.record_read_latency(100, 0, 5)
+        s.record_read_latency(200, 0, 5)
+        s.record_read_latency(900, 0, 6)
+        assert s.avg_read_latency_for(5) == pytest.approx(150.0)
+        assert s.avg_read_latency_for(6) == pytest.approx(900.0)
+        assert s.avg_read_latency_for(99) == 0.0
+
+    def test_empty_averages_zero(self):
+        s = DRAMStats()
+        assert s.avg_read_latency == 0.0
+        assert s.avg_read_queue_delay == 0.0
+
+
+class TestDistributions:
+    def test_busy_distribution_renormalizes_without_zero(self):
+        s = DRAMStats()
+        s.outstanding.observe(0, 0)
+        s.outstanding.observe(10, 2)   # idle for 10
+        s.outstanding.observe(30, 0)   # 2 outstanding for 20
+        s.finish(40)                   # idle again for 10
+        dist = s.busy_outstanding_distribution()
+        assert dist == {2: pytest.approx(1.0)}
+
+    def test_probability_outstanding_at_least(self):
+        s = DRAMStats()
+        s.outstanding.observe(0, 1)
+        s.outstanding.observe(10, 9)
+        s.finish(20)
+        assert s.probability_outstanding_at_least(8) == pytest.approx(0.5)
+        assert s.probability_outstanding_at_least(1) == pytest.approx(1.0)
+
+    def test_thread_concurrency_excludes_single_request_time(self):
+        s = DRAMStats()
+        s.thread_concurrency.observe(0, 0)   # <2 requests
+        s.thread_concurrency.observe(50, 3)  # 3 threads concurrent
+        s.finish(100)
+        dist = s.thread_concurrency_distribution()
+        assert dist == {3: pytest.approx(1.0)}
+
+
+class TestPerThreadServiceView:
+    def test_served_counts_match_reads_plus_writes(self):
+        s = DRAMStats()
+        for tid, is_read in [(0, True), (0, False), (1, True), (2, True)]:
+            s.record_service(is_read, False, tid)
+        assert sum(s.served_per_thread.values()) == s.total_requests
+
+    def test_finish_idempotent_on_collectors(self):
+        s = DRAMStats()
+        s.outstanding.observe(0, 2)
+        s.finish(10)
+        first = s.outstanding.total_weight
+        s.finish(10)
+        assert s.outstanding.total_weight == first

@@ -1,0 +1,160 @@
+"""Tests for the MemorySystem facade: mapping, concurrency, stats."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.events import EventQueue
+from repro.common.types import MemAccessType, MemRequest
+from repro.dram.bank import PageMode
+from repro.dram.geometry import ddr_geometry, rdram_geometry
+from repro.dram.mapping import make_mapping
+from repro.dram.system import MemorySystem
+from repro.dram.timing import ddr_timing
+
+
+@pytest.fixture
+def system():
+    evq = EventQueue()
+    return evq, MemorySystem.ddr(evq)
+
+
+class TestConstruction:
+    def test_ddr_factory_geometry(self):
+        evq = EventQueue()
+        system = MemorySystem.ddr(evq, channels=4)
+        assert len(system.channels) == 4
+        assert system.geometry.banks_per_logical_channel == 4
+
+    def test_rdram_factory_geometry(self):
+        evq = EventQueue()
+        system = MemorySystem.rdram(evq, channels=2)
+        assert len(system.channels) == 2
+        assert system.geometry.banks_per_logical_channel == 128
+
+    def test_ganged_system_fewer_controllers(self):
+        evq = EventQueue()
+        system = MemorySystem.ddr(evq, channels=8, gang=4)
+        assert len(system.channels) == 2
+        assert system.channels[0].transfer < ddr_timing().transfer
+
+    def test_mapping_by_name(self):
+        evq = EventQueue()
+        system = MemorySystem.ddr(evq, mapping="xor")
+        assert system.mapping.name == "xor"
+
+    def test_foreign_geometry_mapping_rejected(self):
+        evq = EventQueue()
+        other = make_mapping("page", rdram_geometry())
+        with pytest.raises(ConfigError):
+            MemorySystem(
+                evq, ddr_geometry(), ddr_timing(), mapping=other
+            )
+
+
+class TestOutstandingTracking:
+    def test_counts_rise_and_fall(self, system):
+        evq, ms = system
+        ms.read(0, 0)
+        ms.read(1000, 1)
+        assert ms.outstanding_total == 2
+        assert ms.outstanding_for_thread(0) == 1
+        assert ms.busy
+        evq.run_all()
+        assert ms.outstanding_total == 0
+        assert not ms.busy
+        assert ms.outstanding_for_thread(0) == 0
+
+    def test_per_thread_counts(self, system):
+        evq, ms = system
+        for i in range(3):
+            ms.read(i * 5000, 7)
+        assert ms.outstanding_for_thread(7) == 3
+        assert ms.outstanding_for_thread(8) == 0
+
+    def test_writes_tracked_too(self, system):
+        evq, ms = system
+        ms.write(0, 2)
+        assert ms.outstanding_total == 1
+        evq.run_all()
+        assert ms.outstanding_total == 0
+
+
+class TestConcurrencyHistograms:
+    def test_busy_distribution_excludes_idle(self, system):
+        evq, ms = system
+        ms.read(0, 0)
+        evq.run_all()
+        ms.finish()
+        dist = ms.stats.busy_outstanding_distribution()
+        assert 0 not in dist
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_thread_concurrency_needs_two_requests(self, system):
+        evq, ms = system
+        ms.read(0, 0)  # one request alone: no multi-request time
+        evq.run_all()
+        ms.finish()
+        assert ms.stats.thread_concurrency_distribution() == {}
+
+    def test_two_threads_counted(self, system):
+        evq, ms = system
+        ms.read(0, 0)
+        ms.read(64 * 10000, 1)
+        evq.run_all()
+        ms.finish()
+        dist = ms.stats.thread_concurrency_distribution()
+        assert set(dist) <= {1, 2}
+        assert dist.get(2, 0.0) > 0.0
+
+    def test_empty_system_distribution_empty(self, system):
+        _, ms = system
+        ms.finish()
+        assert ms.stats.busy_outstanding_distribution() == {}
+
+
+class TestResetStats:
+    def test_reset_clears_counts_keeps_state(self, system):
+        evq, ms = system
+        ms.read(0, 0)
+        evq.run_all()
+        assert ms.stats.reads == 1
+        ms.reset_stats()
+        assert ms.stats.reads == 0
+        # Bank state survives: next read to the same page is a hit.
+        ms.read(1, 0)
+        evq.run_all()
+        assert ms.stats.row_buffer.hits == 1
+
+    def test_reset_rebinds_controllers(self, system):
+        evq, ms = system
+        ms.reset_stats()
+        for channel in ms.channels:
+            assert channel.stats is ms.stats
+
+    def test_reset_reobserves_outstanding(self, system):
+        evq, ms = system
+        ms.read(0, 0)
+        ms.reset_stats()
+        evq.run_all()
+        ms.finish()
+        # The in-flight request's remaining time is still accounted.
+        assert ms.stats.outstanding.total_weight > 0
+
+
+class TestCallbacks:
+    def test_callback_receives_finish_time_and_request(self, system):
+        evq, ms = system
+        seen = []
+        req = ms.read(42, 3, callback=lambda t, r: seen.append((t, r)))
+        evq.run_all()
+        assert len(seen) == 1
+        t, r = seen[0]
+        assert r is req
+        assert t == req.finish_time
+
+    def test_submit_custom_request(self, system):
+        evq, ms = system
+        req = MemRequest(777, MemAccessType.READ, 1, arrival=0)
+        ms.submit(req)
+        evq.run_all()
+        assert req.finish_time > 0

@@ -1,0 +1,69 @@
+"""Tests for DRAM timing presets and conversions."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dram.timing import DRAMTiming, ddr_timing, ns_to_cycles, rdram_timing
+
+
+class TestConversion:
+    def test_15ns_at_3ghz_is_45_cycles(self):
+        assert ns_to_cycles(15) == 45
+
+    def test_rounding(self):
+        assert ns_to_cycles(10.1) == 30
+        assert ns_to_cycles(10.4) == 31
+
+
+class TestPresets:
+    def test_ddr_table1_values(self):
+        t = ddr_timing()
+        assert t.t_row == 45
+        assert t.t_col == 45
+        assert t.t_pre == 45
+        # 64 B over a 16 B-wide DDR 200 MHz channel: 10 ns = 30 cycles
+        assert t.transfer == 30
+
+    def test_rdram_narrow_bus_slower_transfer(self):
+        t = rdram_timing()
+        assert t.transfer == 120  # 64 B over 1.6 GB/s = 40 ns
+        assert t.t_row == 45
+
+    def test_latency_composition(self):
+        t = ddr_timing()
+        assert t.hit_latency == t.t_col
+        assert t.closed_latency == t.t_row + t.t_col
+        assert t.conflict_latency == t.t_pre + t.t_row + t.t_col
+        assert t.hit_latency < t.closed_latency < t.conflict_latency
+
+
+class TestGanging:
+    def test_gang_divides_transfer(self):
+        t = ddr_timing()
+        assert t.transfer_for_gang(1) == 30
+        assert t.transfer_for_gang(2) == 15
+        assert t.transfer_for_gang(4) == 7  # floor
+
+    def test_transfer_never_below_one(self):
+        t = DRAMTiming(transfer=2)
+        assert t.transfer_for_gang(8) == 1
+
+    def test_invalid_gang_rejected(self):
+        with pytest.raises(ConfigError):
+            ddr_timing().transfer_for_gang(0)
+
+
+class TestValidation:
+    def test_nonpositive_timing_rejected(self):
+        with pytest.raises(ConfigError):
+            DRAMTiming(t_row=0)
+        with pytest.raises(ConfigError):
+            DRAMTiming(transfer=-5)
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(ConfigError):
+            DRAMTiming(ctrl_request=-1)
+
+    def test_zero_overhead_allowed(self):
+        t = DRAMTiming(ctrl_request=0, ctrl_response=0)
+        assert t.ctrl_request == 0

@@ -1,0 +1,66 @@
+"""Write-queue drain hysteresis and read/write interplay."""
+
+from repro.common.events import EventQueue
+from repro.dram.system import MemorySystem
+
+
+def build(scheduler="fcfs"):
+    evq = EventQueue()
+    return evq, MemorySystem.ddr(evq, channels=2, scheduler=scheduler)
+
+
+class TestDrainHysteresis:
+    def test_reads_win_below_high_watermark(self):
+        evq, system = build()
+        controller = system.channels[0]
+        finish = {}
+        # a few writes, then a read: the read is served promptly
+        for i in range(controller.WRITE_DRAIN_HIGH - 2):
+            system.write(i * 4096, 0)
+        read = system.read(
+            999 * 64, 0, callback=lambda t, r: finish.setdefault("read", t)
+        )
+        evq.run_all()
+        assert finish["read"] < read.arrival + 3000
+
+    def test_flood_triggers_drain(self):
+        evq, system = build()
+        controller = system.channels[0]
+        # exceed the high watermark on channel 0 (even page indices)
+        lines = [i * 64 for i in range(controller.WRITE_DRAIN_HIGH * 4)]
+        for line in lines:
+            system.write(line, 0)
+        evq.run_all()
+        assert system.stats.writes == len(
+            [l for l in lines]
+        )
+
+    def test_drain_exits_at_low_watermark(self):
+        evq, system = build()
+        controller = system.channels[0]
+        for i in range(controller.WRITE_DRAIN_HIGH + 2):
+            system.write(i * 4096 * 2, 0)
+        # run partially: after the drain empties below the low
+        # watermark, the controller flips back to read priority
+        evq.run_all()
+        assert not controller._draining or len(controller.writes) > 0
+
+
+class TestMixedTraffic:
+    def test_writes_eventually_complete_under_read_pressure(self):
+        evq, system = build(scheduler="hit-first")
+        served = {"writes": 0}
+        for i in range(10):
+            system.write(i * 4096, 0)
+        for i in range(50):
+            system.read(100_000 + i, 1)
+        evq.run_all()
+        assert system.stats.writes == 10
+        assert system.stats.reads == 50
+
+    def test_outstanding_drains_to_zero(self):
+        evq, system = build()
+        for i in range(30):
+            (system.read if i % 3 else system.write)(i * 997, i % 4)
+        evq.run_all()
+        assert system.outstanding_total == 0

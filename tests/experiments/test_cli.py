@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_has_a_subcommand(self):
+        parser = build_parser()
+        for name in ("fig1", "fig6", "fig10"):
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_config_overrides_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fig6", "--instructions", "100", "--channels", "4",
+             "--scheduler", "fcfs"]
+        )
+        assert args.instructions == 100
+        assert args.channels == 4
+        assert args.scheduler == "fcfs"
+
+    def test_mix_subcommand(self):
+        args = build_parser().parse_args(["mix", "2-MEM"])
+        assert args.mix_name == "2-MEM"
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mix", "3-MEM"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "2-MEM" in out
+
+    def test_mix_run(self, capsys):
+        code = main([
+            "mix", "2-ILP", "--instructions", "200", "--warmup", "50",
+            "--scale", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bzip2" in out
+        assert "row-buffer hit rate" in out
+
+    def test_figure_run_with_subset(self, capsys):
+        code = main([
+            "fig8", "--instructions", "200", "--warmup", "50",
+            "--scale", "32", "--mixes", "2-ILP",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "2-ILP" in out
+
+
+class TestAblationCommands:
+    def test_ablation_subcommands_exist(self):
+        parser = build_parser()
+        args = parser.parse_args(["abl-page-mode", "--mixes", "2-MEM"])
+        assert args.command == "abl-page-mode"
+
+    def test_list_includes_ablations(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "abl-mshr" in out
+
+    def test_ablation_runs(self, capsys):
+        code = main([
+            "abl-page-mode", "--instructions", "200", "--warmup", "50",
+            "--scale", "32", "--mixes", "2-MEM",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "page mode" in out
+
+    def test_csv_export(self, capsys, tmp_path):
+        target = tmp_path / "rows.csv"
+        code = main([
+            "fig8", "--instructions", "200", "--warmup", "50",
+            "--scale", "32", "--mixes", "2-ILP", "--csv", str(target),
+        ])
+        assert code == 0
+        assert target.read_text().startswith("mix,page,xor")

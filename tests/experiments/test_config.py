@@ -1,0 +1,126 @@
+"""Tests for SystemConfig (Table 1 defaults and validation)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dram.bank import PageMode
+from repro.experiments.config import SystemConfig
+
+
+class TestTable1Defaults:
+    def test_processor_parameters(self):
+        core = SystemConfig().core
+        assert core.fetch_width == 8
+        assert core.int_issue_width == 8
+        assert core.fp_issue_width == 4
+        assert core.int_iq_size == 64
+        assert core.fp_iq_size == 32
+        assert core.rob_size == 256
+        assert core.lq_size == 64
+        assert core.sq_size == 64
+        assert core.mispredict_penalty == 9
+
+    def test_memory_parameters(self):
+        cfg = SystemConfig()
+        assert cfg.dram_type == "ddr"
+        assert cfg.channels == 2
+        assert cfg.fetch_policy == "dwarn"  # DWarn.2.8 baseline
+
+    def test_table1_factory(self):
+        cfg = SystemConfig.table1(channels=8)
+        assert cfg.channels == 8
+
+
+class TestValidation:
+    def test_bad_dram_type(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(dram_type="hbm")
+
+    def test_bad_page_mode(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(page_mode="ajar")
+
+    def test_bad_mapping(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(mapping="hash")
+
+    def test_gang_must_divide_channels(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(channels=4, gang=3)
+
+    def test_nonpositive_budget(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(instructions_per_thread=0)
+
+    def test_negative_warmup(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(warmup_instructions=-1)
+
+
+class TestDerived:
+    def test_with_creates_modified_copy(self):
+        base = SystemConfig()
+        other = base.with_(channels=8, scheduler="fcfs")
+        assert other.channels == 8
+        assert other.scheduler == "fcfs"
+        assert base.channels == 2  # unchanged
+
+    def test_page_mode_enum(self):
+        assert SystemConfig(page_mode="open").page_mode_enum is PageMode.OPEN
+        assert SystemConfig(page_mode="close").page_mode_enum is PageMode.CLOSE
+
+    def test_organization_name(self):
+        assert SystemConfig(channels=8, gang=2).organization_name() == "8C-2G"
+
+    def test_hierarchy_params_forwarding(self):
+        cfg = SystemConfig(perfect_l3=True, mshr_entries=8, scale=16)
+        params = cfg.hierarchy_params()
+        assert params.perfect_l3
+        assert params.mshr_entries == 8
+        assert params.scale == 16
+
+
+class TestCacheKey:
+    def test_equal_configs_equal_keys(self):
+        assert SystemConfig().cache_key() == SystemConfig().cache_key()
+
+    def test_key_is_hashable(self):
+        hash(SystemConfig().cache_key())
+
+    def test_any_field_change_changes_key(self):
+        base = SystemConfig().cache_key()
+        for override in (
+            {"dram_type": "rdram"},
+            {"channels": 4},
+            {"gang": 2},
+            {"mapping": "page"},
+            {"page_mode": "close"},
+            {"scheduler": "fcfs"},
+            {"fetch_policy": "icount"},
+            {"perfect_l3": True},
+            {"mshr_entries": 8},
+            {"scale": 4},
+            {"instructions_per_thread": 77},
+            {"warmup_instructions": 3},
+            {"seed": 2},
+        ):
+            assert SystemConfig(**override).cache_key() != base, override
+
+
+class TestControllerModel:
+    def test_default_is_request(self):
+        assert SystemConfig().controller_model == "request"
+
+    def test_command_accepted(self):
+        cfg = SystemConfig(controller_model="command")
+        assert cfg.controller_model == "command"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(controller_model="psychic")
+
+    def test_in_cache_key(self):
+        assert (
+            SystemConfig(controller_model="command").cache_key()
+            != SystemConfig().cache_key()
+        )

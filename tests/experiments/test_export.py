@@ -1,0 +1,36 @@
+"""Tests for ExperimentResult export (CSV / dicts)."""
+
+import csv
+import io
+
+from repro.experiments.figures import ExperimentResult
+
+
+def sample():
+    return ExperimentResult(
+        name="Figure X",
+        description="test",
+        headers=["mix", "a", "b"],
+        rows=[("2-MEM", 1.5, "50%"), ("4-MEM", 2.0, "60%")],
+    )
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self):
+        text = sample().to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["mix", "a", "b"]
+        assert rows[1] == ["2-MEM", "1.5", "50%"]
+        assert len(rows) == 3
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        sample().save_csv(path)
+        assert path.read_text().startswith("mix,a,b")
+
+
+class TestDicts:
+    def test_as_dicts(self):
+        dicts = sample().as_dicts()
+        assert dicts[0] == {"mix": "2-MEM", "a": 1.5, "b": "50%"}
+        assert len(dicts) == 2

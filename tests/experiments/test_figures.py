@@ -1,0 +1,114 @@
+"""Smoke tests for the figure drivers (tiny budgets, subset mixes)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    figure1,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure10,
+    run_experiment,
+)
+from repro.experiments.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def shared_runner():
+    return Runner()
+
+
+class TestRegistry:
+    def test_all_ten_figures_registered(self):
+        assert sorted(EXPERIMENTS) == [
+            "coverage",
+            "fig1", "fig10", "fig2", "fig3", "fig4",
+            "fig5", "fig6", "fig7", "fig8", "fig9",
+        ]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestFigure1:
+    def test_small_app_subset(self, tiny_config, shared_runner):
+        result = figure1(
+            tiny_config, shared_runner, apps=["eon", "mcf"]
+        )
+        assert len(result.rows) == 2
+        # sorted by CPI_mem: mcf last
+        assert result.rows[-1][0] == "mcf"
+        for row in result.rows:
+            app, proc, l2, l3, mem, total = row
+            assert total == pytest.approx(proc + l2 + l3 + mem)
+
+    def test_mcf_memory_dominated(self, tiny_config, shared_runner):
+        result = figure1(tiny_config, shared_runner, apps=["eon", "mcf"])
+        mcf = next(r for r in result.rows if r[0] == "mcf")
+        eon = next(r for r in result.rows if r[0] == "eon")
+        assert mcf[4] > eon[4]  # CPI_mem
+
+
+class TestDistributionFigures:
+    def test_figure4_rows_are_distributions(self, tiny_config, shared_runner):
+        result = figure4(tiny_config, shared_runner, mixes=["2-MEM"])
+        assert result.rows[0][0] == "2-MEM"
+        values = [float(v.rstrip("%")) for v in result.rows[0][1:]]
+        assert sum(values) == pytest.approx(100.0, abs=0.5)
+
+    def test_figure5_pads_missing_thread_counts(
+        self, tiny_config, shared_runner
+    ):
+        result = figure5(
+            tiny_config, shared_runner, mixes=["2-MEM", "4-MEM"]
+        )
+        two_mem = result.rows[0]
+        assert two_mem[3] == "-"  # no 3-thread bin for a 2-thread mix
+
+
+class TestSweepFigures:
+    def test_figure6_normalized_to_first_column(
+        self, tiny_config, shared_runner
+    ):
+        result = figure6(
+            tiny_config, shared_runner, mixes=["2-MEM"],
+            channel_counts=(2, 4),
+        )
+        assert result.rows[0][1] == pytest.approx(1.0)
+
+    def test_figure7_1g_columns_are_unity(self, tiny_config, shared_runner):
+        result = figure7(
+            tiny_config, shared_runner, mixes=["2-MEM"],
+            organizations=((2, 1), (2, 2)),
+        )
+        row = result.rows[0]
+        assert row[1] == pytest.approx(1.0)  # 2C-1G normalized to itself
+        assert row[2] > 0
+
+    def test_figure8_has_page_and_xor(self, tiny_config, shared_runner):
+        result = figure8(tiny_config, shared_runner, mixes=["2-MEM"])
+        assert result.headers == ["mix", "page", "xor"]
+        assert result.rows[0][1].endswith("%")
+
+    def test_figure10_fcfs_column_is_unity(self, tiny_config, shared_runner):
+        result = figure10(
+            tiny_config, shared_runner, mixes=["2-MEM"],
+            schedulers=("fcfs", "request-based"),
+        )
+        assert result.rows[0][1] == pytest.approx(1.0)
+
+
+class TestRendering:
+    def test_render_includes_all_rows(self, tiny_config, shared_runner):
+        result = figure8(tiny_config, shared_runner, mixes=["2-MEM"])
+        text = result.render()
+        assert "Figure 8" in text
+        assert "2-MEM" in text
+
+    def test_unknown_mix_rejected(self, tiny_config, shared_runner):
+        with pytest.raises(KeyError):
+            figure4(tiny_config, shared_runner, mixes=["3-MEM"])

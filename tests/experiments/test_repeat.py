@@ -1,0 +1,71 @@
+"""Tests for multi-seed repetition and paired comparison."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments.repeat import (
+    MetricSummary,
+    compare_configs,
+    repeat_mix,
+)
+
+
+class TestMetricSummary:
+    def test_statistics(self):
+        s = MetricSummary("x", (1.0, 2.0, 3.0))
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.stdev == pytest.approx(1.0)
+
+    def test_single_value_stdev_zero(self):
+        assert MetricSummary("x", (5.0,)).stdev == 0.0
+
+    def test_str(self):
+        assert "n=2" in str(MetricSummary("x", (1.0, 2.0)))
+
+
+class TestRepeatMix:
+    def test_one_summary_per_metric(self, quick_config):
+        summaries = repeat_mix(quick_config, ["gzip"], seeds=(1, 2))
+        assert set(summaries) == {
+            "throughput", "row_miss_rate", "dram_per_100"
+        }
+        assert len(summaries["throughput"].values) == 2
+        assert summaries["throughput"].mean > 0
+
+    def test_custom_metric(self, quick_config):
+        summaries = repeat_mix(
+            quick_config, ["gzip"], seeds=(1,),
+            metrics={"cycles": lambda r: float(r.core.cycles)},
+        )
+        assert summaries["cycles"].mean > 0
+
+    def test_needs_seeds(self, quick_config):
+        with pytest.raises(ConfigError):
+            repeat_mix(quick_config, ["gzip"], seeds=())
+
+
+class TestCompareConfigs:
+    def test_identical_configs_zero_gain(self, quick_config):
+        cmp = compare_configs(
+            quick_config, quick_config, ["gzip"], seeds=(1, 2)
+        )
+        assert cmp.gains == (0.0, 0.0)
+        assert cmp.mean_gain == 0.0
+        assert not cmp.consistent  # neither all-positive nor all-negative
+
+    def test_perfect_l3_wins_consistently(self, quick_config):
+        cmp = compare_configs(
+            quick_config,
+            quick_config.with_(perfect_l3=True),
+            ["mcf"],
+            seeds=(1, 2, 3),
+        )
+        assert cmp.wins == 3
+        assert cmp.consistent
+        assert cmp.mean_gain > 0
+
+    def test_needs_seeds(self, quick_config):
+        with pytest.raises(ConfigError):
+            compare_configs(quick_config, quick_config, ["gzip"], seeds=())

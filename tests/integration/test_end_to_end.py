@@ -1,0 +1,148 @@
+"""End-to-end shape tests: the paper's qualitative findings must hold.
+
+These run small but complete simulations and assert the *direction* of
+each of the paper's four major findings, not exact magnitudes.
+"""
+
+import pytest
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.runner import Runner, run_mix
+from repro.workloads.mixes import get_mix
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+@pytest.fixture(scope="module")
+def config():
+    # scale 8 is the calibration point of the workload profiles; the
+    # paper-shape assertions below are robust there (see EXPERIMENTS.md)
+    # where smaller scales add noise.
+    return SystemConfig(
+        scale=8,
+        instructions_per_thread=2500,
+        warmup_instructions=800,
+        seed=42,
+    )
+
+
+class TestFinding1Concurrency:
+    """More threads -> more memory concurrency (Figures 4/5)."""
+
+    def test_mem_mix_has_more_concurrency_than_ilp(self, config, runner):
+        mem = runner.run_mix(config, get_mix("4-MEM"))
+        ilp = runner.run_mix(config, get_mix("4-ILP"))
+        assert mem.dram.probability_outstanding_at_least(8) > (
+            ilp.dram.probability_outstanding_at_least(8)
+        )
+
+    def test_concurrency_grows_with_threads(self, config, runner):
+        two = runner.run_mix(config, get_mix("2-MEM"))
+        eight = runner.run_mix(config, get_mix("8-MEM"))
+        assert eight.dram.probability_outstanding_at_least(16) > (
+            two.dram.probability_outstanding_at_least(16)
+        )
+
+    def test_mem_concurrent_requests_come_from_many_threads(
+        self, config, runner
+    ):
+        result = runner.run_mix(config, get_mix("4-MEM"))
+        dist = result.dram.thread_concurrency_distribution()
+        multi = sum(p for t, p in dist.items() if t >= 3)
+        assert multi > 0.5
+
+
+class TestFinding2ChannelOrganization:
+    """Independent channels beat ganged organizations (Fig. 6/7)."""
+
+    def test_more_channels_help_mem_mix(self, config, runner):
+        mix = get_mix("4-MEM")
+        two = runner.weighted_speedup(config.with_(channels=2), mix)
+        eight = runner.weighted_speedup(config.with_(channels=8), mix)
+        assert eight > two * 1.2
+
+    def test_channels_do_not_matter_for_ilp(self, config, runner):
+        mix = get_mix("2-ILP")
+        two = runner.weighted_speedup(config.with_(channels=2), mix)
+        eight = runner.weighted_speedup(config.with_(channels=8), mix)
+        assert eight == pytest.approx(two, rel=0.15)
+
+    def test_independent_beats_ganged(self, config, runner):
+        mix = get_mix("4-MEM")
+        independent = runner.weighted_speedup(
+            config.with_(channels=4, gang=1), mix
+        )
+        ganged = runner.weighted_speedup(
+            config.with_(channels=4, gang=4), mix
+        )
+        assert independent > ganged
+
+
+class TestFinding3RowBufferLocality:
+    """Row-buffer miss rates rise with thread count; XOR helps (Fig. 8/9)."""
+
+    def test_miss_rate_rises_with_threads(self, config, runner):
+        cfg = config.with_(mapping="page")
+        two = runner.run_mix(cfg, get_mix("2-MEM"))
+        eight = runner.run_mix(cfg, get_mix("8-MEM"))
+        assert eight.row_buffer_miss_rate > two.row_buffer_miss_rate
+
+    def test_xor_reduces_miss_rate_on_rdram(self, config, runner):
+        mix = get_mix("4-MEM")
+        page = runner.run_mix(
+            config.with_(dram_type="rdram", mapping="page"), mix
+        )
+        xor = runner.run_mix(
+            config.with_(dram_type="rdram", mapping="xor"), mix
+        )
+        assert xor.row_buffer_miss_rate <= page.row_buffer_miss_rate + 0.02
+
+
+class TestFinding4ThreadAwareScheduling:
+    """Thread-aware scheduling helps MEM mixes (Figure 10)."""
+
+    def test_request_based_beats_fcfs_on_mem(self, config, runner):
+        # Throughput, not weighted speedup: WS divides by separately
+        # sampled single-thread baselines, whose noise at test budgets
+        # can swamp the scheduling effect (see EXPERIMENTS.md).
+        mix = get_mix("4-MEM")
+        fcfs = runner.run_mix(config.with_(scheduler="fcfs"), mix)
+        request = runner.run_mix(
+            config.with_(scheduler="request-based"), mix
+        )
+        # note: *average* latency may rise even as throughput improves
+        # (the flooding threads' deprioritized requests wait longer
+        # while the latency-critical thread is served) -- so the
+        # assertion is on throughput only.
+        assert request.throughput > fcfs.throughput
+
+
+class TestInfrastructure:
+    def test_infinite_l3_bounds_real_system(self, config, runner):
+        mix = get_mix("4-MEM")
+        real = runner.weighted_speedup(config, mix)
+        perfect = runner.weighted_speedup(config.with_(perfect_l3=True), mix)
+        assert perfect > real
+
+    def test_mem_mix_generates_more_dram_traffic_than_mix_mix(
+        self, config, runner
+    ):
+        mem = runner.run_mix(config, get_mix("4-MEM"))
+        mixed = runner.run_mix(config, get_mix("4-MIX"))
+        ilp = runner.run_mix(config, get_mix("4-ILP"))
+        assert (
+            mem.dram_accesses_per_100_instructions
+            > mixed.dram_accesses_per_100_instructions
+            > ilp.dram_accesses_per_100_instructions
+        )
+
+    def test_full_run_deterministic_across_processes_shape(self, config):
+        # Same config object twice: bitwise-identical results.
+        a = run_mix(config, ["gzip", "mcf"])
+        b = run_mix(config, ["gzip", "mcf"])
+        assert a.core.cycles == b.core.cycles
+        assert a.dram.reads == b.dram.reads
+        assert a.dram.row_hit_rate == b.dram.row_hit_rate

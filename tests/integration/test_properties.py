@@ -1,0 +1,81 @@
+"""System-level property tests (hypothesis): conservation invariants.
+
+Random small mixes and configurations run end-to-end; structural
+invariants must hold regardless of the draw.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.runner import build_system, run_mix
+
+APPS = ["gzip", "eon", "mcf", "swim", "ammp", "crafty"]
+
+config_strategy = st.builds(
+    SystemConfig,
+    channels=st.sampled_from([2, 4]),
+    mapping=st.sampled_from(["page", "xor"]),
+    scheduler=st.sampled_from(["fcfs", "hit-first", "request-based"]),
+    fetch_policy=st.sampled_from(["icount", "dwarn"]),
+    scale=st.just(32),
+    instructions_per_thread=st.just(250),
+    warmup_instructions=st.just(50),
+    seed=st.integers(0, 2**20),
+)
+
+mix_strategy = st.lists(st.sampled_from(APPS), min_size=1, max_size=3)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=config_strategy, apps=mix_strategy)
+def test_run_completes_with_conserved_counts(config, apps):
+    result = run_mix(config, apps)
+    # every thread reports its committed budget or the run hit the cap
+    for t in result.core.threads:
+        assert 0 <= t.committed <= config.instructions_per_thread
+    # hierarchy submit counts and DRAM service counts may differ only
+    # by requests in flight across the warm-up reset or the run end
+    in_flight = result.hierarchy.dram_reads_issued - result.dram.reads
+    assert abs(in_flight) <= config.mshr_entries
+    # per-thread attribution sums to the hierarchy total
+    assert (
+        sum(result.hierarchy.dram_loads_per_thread.values())
+        == result.hierarchy.dram_reads_issued
+    )
+    # row-buffer accounting is a valid rate
+    assert 0.0 <= result.dram.row_hit_rate <= 1.0
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=config_strategy, apps=mix_strategy)
+def test_memory_system_fully_drains(config, apps):
+    core, memory, hierarchy = build_system(config, apps)
+    core.run(
+        config.instructions_per_thread,
+        warmup_instructions=config.warmup_instructions,
+        max_cycles=config.max_cycles,
+    )
+    core.event_queue.run_all()
+    assert memory.outstanding_total == 0
+    assert len(hierarchy.mshr) == 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2**20))
+def test_seed_determinism_property(seed):
+    config = SystemConfig(
+        scale=32, instructions_per_thread=200, warmup_instructions=40,
+        seed=seed,
+    )
+    a = run_mix(config, ["gzip", "mcf"])
+    b = run_mix(config, ["gzip", "mcf"])
+    assert a.core.cycles == b.core.cycles
+    assert a.dram.reads == b.dram.reads

@@ -1,0 +1,33 @@
+"""Tests for the CPI-breakdown methodology."""
+
+import pytest
+
+from repro.metrics.breakdown import CpiBreakdown, cpi_breakdown
+
+
+class TestBreakdown:
+    def test_components_sum_to_overall(self):
+        b = cpi_breakdown("mcf", 9.0, 2.0, 1.0, 0.6)
+        assert b.total == pytest.approx(9.0)
+        assert b.cpi_mem == pytest.approx(7.0)
+        assert b.cpi_l3 == pytest.approx(1.0)
+        assert b.cpi_l2 == pytest.approx(0.4)
+        assert b.cpi_proc == pytest.approx(0.6)
+
+    def test_negative_differences_clamped(self):
+        # Finite windows can make a perfect-cache run marginally slower.
+        b = cpi_breakdown("eon", 0.50, 0.51, 0.50, 0.50)
+        assert b.cpi_mem == 0.0
+        assert b.cpi_l2 == 0.0
+
+    def test_nonpositive_cpi_rejected(self):
+        with pytest.raises(ValueError):
+            cpi_breakdown("x", 0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            cpi_breakdown("x", 1.0, 1.0, 1.0, -2.0)
+
+    def test_as_row(self):
+        b = CpiBreakdown("gzip", 0.4, 0.1, 0.05, 0.01)
+        row = b.as_row()
+        assert row[0] == "gzip"
+        assert row[-1] == pytest.approx(b.total)

@@ -1,0 +1,36 @@
+"""Tests for Figure 4/5 bucketing helpers."""
+
+import pytest
+
+from repro.metrics.concurrency import (
+    OUTSTANDING_BUCKETS,
+    bucket_outstanding,
+    bucket_thread_counts,
+)
+
+
+class TestBucketOutstanding:
+    def test_labels(self):
+        buckets = bucket_outstanding({})
+        assert list(buckets) == ["1", "2-3", "4-7", "8-15", "16+"]
+
+    def test_probability_preserved(self):
+        dist = {1: 0.2, 3: 0.3, 9: 0.1, 40: 0.4}
+        buckets = bucket_outstanding(dist)
+        assert buckets["1"] == pytest.approx(0.2)
+        assert buckets["2-3"] == pytest.approx(0.3)
+        assert buckets["8-15"] == pytest.approx(0.1)
+        assert buckets["16+"] == pytest.approx(0.4)
+        assert sum(buckets.values()) == pytest.approx(1.0)
+
+    def test_default_edges_match_constant(self):
+        assert OUTSTANDING_BUCKETS == (1, 2, 4, 8, 16)
+
+
+class TestBucketThreadCounts:
+    def test_one_bin_per_thread(self):
+        buckets = bucket_thread_counts({1: 0.25, 4: 0.75}, num_threads=4)
+        assert list(buckets) == ["1", "2", "3", "4"]
+        assert buckets["1"] == 0.25
+        assert buckets["2"] == 0.0
+        assert buckets["4"] == 0.75

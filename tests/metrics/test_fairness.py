@@ -1,0 +1,29 @@
+"""Tests for the fairness metrics."""
+
+import pytest
+
+from repro.metrics.fairness import fairness_index, max_slowdown, slowdowns
+
+
+class TestFairnessIndex:
+    def test_even_slowdown_is_one(self):
+        assert fairness_index([1.0, 0.5], [2.0, 1.0]) == pytest.approx(1.0)
+
+    def test_uneven_slowdown_below_one(self):
+        assert fairness_index([2.0, 0.2], [2.0, 2.0]) == pytest.approx(0.1)
+
+    def test_stalled_thread_is_zero(self):
+        assert fairness_index([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+
+class TestSlowdowns:
+    def test_values(self):
+        assert slowdowns([1.0, 0.5], [2.0, 2.0]) == [
+            pytest.approx(2.0), pytest.approx(4.0)
+        ]
+
+    def test_stalled_is_inf(self):
+        assert slowdowns([0.0], [1.0]) == [float("inf")]
+
+    def test_max_slowdown(self):
+        assert max_slowdown([1.0, 0.5], [2.0, 2.0]) == pytest.approx(4.0)

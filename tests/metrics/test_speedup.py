@@ -1,0 +1,80 @@
+"""Tests for SMT performance metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.speedup import (
+    harmonic_mean_speedup,
+    relative_ipcs,
+    throughput,
+    weighted_speedup,
+)
+
+
+class TestRelativeIpcs:
+    def test_basic(self):
+        assert relative_ipcs([1.0, 2.0], [2.0, 2.0]) == [0.5, 1.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_ipcs([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            relative_ipcs([], [])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_ipcs([1.0], [0.0])
+
+
+class TestWeightedSpeedup:
+    def test_ideal_smt_equals_thread_count(self):
+        assert weighted_speedup([2.0, 1.0, 0.5], [2.0, 1.0, 0.5]) == 3.0
+
+    def test_paper_semantics(self):
+        # two threads each at half their solo speed: WS = 1.0
+        assert weighted_speedup([1.0, 0.25], [2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_zero_progress_thread_allowed(self):
+        assert weighted_speedup([0.0, 1.0], [1.0, 1.0]) == 1.0
+
+
+class TestHarmonicMean:
+    def test_equal_relatives(self):
+        assert harmonic_mean_speedup([1.0, 1.0], [2.0, 2.0]) == pytest.approx(0.5)
+
+    def test_punishes_imbalance(self):
+        balanced = harmonic_mean_speedup([1.0, 1.0], [2.0, 2.0])
+        skewed = harmonic_mean_speedup([1.9, 0.1], [2.0, 2.0])
+        assert skewed < balanced
+
+    def test_zero_progress_yields_zero(self):
+        assert harmonic_mean_speedup([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+
+class TestThroughput:
+    def test_sum(self):
+        assert throughput([1.5, 0.5]) == 2.0
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(0.01, 10), min_size=1, max_size=8),
+        st.lists(st.floats(0.01, 10), min_size=1, max_size=8),
+    )
+    def test_ws_nonnegative_and_bounded_by_sum(self, multi, single):
+        n = min(len(multi), len(single))
+        multi, single = multi[:n], single[:n]
+        ws = weighted_speedup(multi, single)
+        assert ws >= 0
+        assert ws == pytest.approx(
+            sum(m / s for m, s in zip(multi, single))
+        )
+
+    @given(st.lists(st.floats(0.01, 10), min_size=1, max_size=8))
+    def test_hmean_at_most_amean(self, rel):
+        single = [1.0] * len(rel)
+        hmean = harmonic_mean_speedup(rel, single)
+        amean = weighted_speedup(rel, single) / len(rel)
+        assert hmean <= amean + 1e-9

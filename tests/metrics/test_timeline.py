@@ -1,0 +1,73 @@
+"""Tests for timeline sampling and interval-IPC post-processing."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).resolve().parents[1]))
+from cpu.test_core import build_core  # noqa: E402
+
+from repro.cpu.core import CoreParams  # noqa: E402
+from repro.metrics.timeline import (  # noqa: E402
+    aggregate_interval_ipcs,
+    burstiness,
+    interval_ipcs,
+)
+
+
+class TestSampling:
+    def test_disabled_by_default(self):
+        core, _, _ = build_core(["gzip"])
+        core.run(300, warmup_instructions=50)
+        assert core.timeline == []
+
+    def test_samples_recorded_at_interval(self):
+        core, _, _ = build_core(
+            ["gzip"], params=CoreParams(sample_interval=50)
+        )
+        core.run(600, warmup_instructions=0)
+        assert len(core.timeline) >= 3
+        cycles = [c for c, _ in core.timeline]
+        assert cycles == sorted(cycles)
+        # committed counts are monotone
+        committed = [sum(x) for _, x in core.timeline]
+        assert committed == sorted(committed)
+
+    def test_per_thread_tuples(self):
+        core, _, _ = build_core(
+            ["gzip", "eon"], params=CoreParams(sample_interval=50)
+        )
+        core.run(400, warmup_instructions=0)
+        assert all(len(x) == 2 for _, x in core.timeline)
+
+
+class TestPostprocessing:
+    def test_interval_ipcs(self):
+        timeline = [(0, (0,)), (100, (50,)), (200, (150,))]
+        series = interval_ipcs(timeline)
+        assert series == [(100, [0.5]), (200, [1.0])]
+
+    def test_aggregate(self):
+        timeline = [(0, (0, 0)), (100, (50, 30))]
+        assert aggregate_interval_ipcs(timeline) == [(100, 0.8)]
+
+    def test_burstiness_zero_for_constant(self):
+        timeline = [(i * 100, (i * 80,)) for i in range(5)]
+        assert burstiness(timeline) == pytest.approx(0.0)
+
+    def test_burstiness_positive_for_phases(self):
+        timeline = [
+            (0, (0,)), (100, (100,)), (200, (110,)), (300, (210,)),
+        ]
+        assert burstiness(timeline) > 0.3
+
+    def test_short_timelines_handled(self):
+        assert interval_ipcs([]) == []
+        assert burstiness([(0, (0,))]) == 0.0
+
+    def test_real_mem_run_is_bursty(self):
+        core, _, _ = build_core(
+            ["mcf"], params=CoreParams(sample_interval=200)
+        )
+        core.run(1500, warmup_instructions=0)
+        assert burstiness(core.timeline) > 0.1

@@ -1,0 +1,41 @@
+"""Prewarm + VM-translation interplay."""
+
+from repro.common.events import EventQueue
+from repro.common.rng import child_rng
+from repro.cache.hierarchy import HierarchyParams, MemoryHierarchy
+from repro.cache.prewarm import prewarm
+from repro.dram.system import MemorySystem
+from repro.os.vm import VirtualMemory
+from repro.workloads.generator import SyntheticStream
+from repro.workloads.spec2000 import get_profile
+
+
+def test_prewarm_installs_translated_lines():
+    evq = EventQueue()
+    memory = MemorySystem.ddr(evq)
+    vm = VirtualMemory(policy="bin-hopping")
+    hierarchy = MemoryHierarchy(
+        HierarchyParams(scale=32, tlb_penalty=0), evq, memory, translator=vm
+    )
+    stream = SyntheticStream(
+        get_profile("eon"), child_rng(1, "eon"), thread_id=0, scale=32
+    )
+    prewarm(hierarchy, [stream.footprint()])
+    # a hot-region load must hit L1 immediately (virtual address path)
+    base_line, size, _ = stream.footprint()[0]
+    result = hierarchy.load(base_line * 64, 0, now=0)
+    assert isinstance(result, int)
+    assert memory.stats.reads == 0
+
+
+def test_prewarm_without_translator_unchanged():
+    evq = EventQueue()
+    memory = MemorySystem.ddr(evq)
+    hierarchy = MemoryHierarchy(
+        HierarchyParams(scale=32, tlb_penalty=0), evq, memory
+    )
+    stream = SyntheticStream(
+        get_profile("eon"), child_rng(1, "eon"), thread_id=0, scale=32
+    )
+    inserted = prewarm(hierarchy, [stream.footprint()])
+    assert inserted > 0

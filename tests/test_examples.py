@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the quick examples run here (the policy/channel studies take
+minutes at their default budgets and are exercised by the benchmark
+harness instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "fetch_policy_study.py",
+            "channel_tuning.py",
+            "thread_aware_scheduling.py",
+            "custom_workload.py",
+            "command_level_dram.py",
+            "trace_workflow.py",
+        } <= names
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Weighted speedup" in out
+        assert "Row-buffer hit rate" in out
+
+    def test_command_level_dram(self):
+        out = run_example("command_level_dram.py")
+        assert "ACTIVATE" in out
+        assert "request-level controller" in out
+
+    def test_trace_workflow(self):
+        out = run_example("trace_workflow.py")
+        assert "recorded 2000" in out
+        assert "sweeping schedulers" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "kvstore" in out
+        assert "weighted speedup" in out

@@ -1,0 +1,62 @@
+"""Tests for workload-stream analysis and profile validation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import child_rng
+from repro.workloads.analysis import analyze_stream, validate_profile
+from repro.workloads.generator import SyntheticStream
+from repro.workloads.spec2000 import PROFILES, get_profile
+
+
+def stream_for(app, seed=11):
+    return SyntheticStream(
+        get_profile(app), child_rng(seed, app), thread_id=0, scale=8
+    )
+
+
+class TestAnalyzeStream:
+    def test_counts_sum_to_window(self):
+        stats = analyze_stream(stream_for("gzip"), window=5000)
+        assert stats.instructions == 5000
+        assert sum(stats.opclass_counts.values()) == 5000
+
+    def test_fractions_match_profile(self):
+        profile = get_profile("swim")
+        stats = analyze_stream(stream_for("swim"), window=20000)
+        assert stats.mem_frac == pytest.approx(profile.mem_frac, abs=0.02)
+        assert stats.branch_frac == pytest.approx(
+            profile.branch_frac, abs=0.01
+        )
+
+    def test_reuse_reflects_repeats(self):
+        # swim's streams repeat each line ~5x plus stack hits: reuse > 2
+        stats = analyze_stream(stream_for("swim"), window=20000)
+        assert stats.line_reuse > 2.0
+
+    def test_pointer_app_touches_more_distinct_lines(self):
+        mcf = analyze_stream(stream_for("mcf"), window=20000)
+        eon = analyze_stream(stream_for("eon"), window=20000)
+        assert mcf.distinct_lines > eon.distinct_lines
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigError):
+            analyze_stream(stream_for("gzip"), window=0)
+
+
+class TestValidateProfile:
+    @pytest.mark.parametrize("app", sorted(PROFILES))
+    def test_every_profile_within_tolerance(self, app):
+        problems = validate_profile(stream_for(app), window=20000)
+        assert problems == [], problems
+
+    def test_reports_discrepancies_for_mismatched_stream(self):
+        class Liar:
+            profile = get_profile("mcf")  # claims mcf
+            _inner = stream_for("eon")    # generates eon
+
+            def next_uop(self):
+                return self._inner.next_uop()
+
+        problems = validate_profile(Liar(), window=10000)
+        assert problems  # mem_frac mismatch at minimum

@@ -1,0 +1,82 @@
+"""Tests for the Table 2 workload mixes."""
+
+import pytest
+
+from repro.workloads.mixes import MIXES, WorkloadMix, all_mix_names, get_mix
+from repro.workloads.spec2000 import get_profile
+
+
+class TestTable2Fidelity:
+    """The mixes must match the paper's Table 2 verbatim."""
+
+    def test_nine_mixes(self):
+        assert len(MIXES) == 9
+
+    def test_2_thread_mixes(self):
+        assert get_mix("2-ILP").apps == ("bzip2", "gzip")
+        assert get_mix("2-MIX").apps == ("gzip", "mcf")
+        assert get_mix("2-MEM").apps == ("mcf", "ammp")
+
+    def test_4_thread_mixes(self):
+        assert get_mix("4-ILP").apps == ("bzip2", "gzip", "sixtrack", "eon")
+        assert get_mix("4-MIX").apps == ("gzip", "mcf", "bzip2", "ammp")
+        assert get_mix("4-MEM").apps == ("mcf", "ammp", "swim", "lucas")
+
+    def test_8_thread_mixes(self):
+        assert get_mix("8-ILP").apps == (
+            "gzip", "bzip2", "sixtrack", "eon",
+            "mesa", "galgel", "crafty", "wupwise",
+        )
+        assert get_mix("8-MIX").apps == (
+            "gzip", "mcf", "bzip2", "ammp",
+            "sixtrack", "swim", "eon", "lucas",
+        )
+        assert get_mix("8-MEM").apps == (
+            "mcf", "ammp", "swim", "lucas",
+            "equake", "applu", "vpr", "facerec",
+        )
+
+
+class TestComposition:
+    def test_thread_counts_match_app_counts(self):
+        for mix in MIXES.values():
+            assert len(mix.apps) == mix.threads
+
+    def test_mem_mixes_contain_only_mem_apps(self):
+        for name in ("4-MEM", "8-MEM"):
+            for app in get_mix(name).apps:
+                assert get_profile(app).category == "MEM", (name, app)
+
+    def test_ilp_mixes_contain_only_ilp_apps(self):
+        for name in ("2-ILP", "4-ILP", "8-ILP"):
+            for app in get_mix(name).apps:
+                assert get_profile(app).category == "ILP", (name, app)
+
+    def test_mix_mixes_are_half_and_half(self):
+        for name in ("2-MIX", "4-MIX", "8-MIX"):
+            mix = get_mix(name)
+            mem = sum(
+                get_profile(a).category == "MEM" for a in mix.apps
+            )
+            assert mem == mix.threads // 2, name
+
+
+class TestHelpers:
+    def test_order_by_threads_then_kind(self):
+        assert all_mix_names() == [
+            "2-ILP", "2-MIX", "2-MEM",
+            "4-ILP", "4-MIX", "4-MEM",
+            "8-ILP", "8-MIX", "8-MEM",
+        ]
+
+    def test_unknown_mix(self):
+        with pytest.raises(KeyError):
+            get_mix("16-MEM")
+
+    def test_mismatched_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", 3, "MEM", ("mcf", "ammp"))
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            WorkloadMix("bad", 1, "MEM", ("quake3",))

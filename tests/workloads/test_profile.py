@@ -1,0 +1,82 @@
+"""Tests for the application profile model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.profile import AppProfile, Region
+
+
+def minimal_profile(**overrides):
+    kwargs = dict(
+        name="test",
+        category="ILP",
+        mem_frac=0.3,
+        store_frac=0.3,
+        branch_frac=0.1,
+        mispredict_rate=0.05,
+        fp_frac=0.0,
+        regions=(Region(size_lines=100, weight=1.0),),
+    )
+    kwargs.update(overrides)
+    return AppProfile(**kwargs)
+
+
+class TestRegion:
+    def test_defaults(self):
+        r = Region(size_lines=100, weight=0.5)
+        assert r.kind == "random"
+        assert r.repeats == 1
+        assert r.burst == 1
+
+    def test_invalid_kind(self):
+        with pytest.raises(ConfigError):
+            Region(size_lines=10, weight=1.0, kind="zigzag")
+
+    def test_nonpositive_size(self):
+        with pytest.raises(ConfigError):
+            Region(size_lines=0, weight=1.0)
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(ConfigError):
+            Region(size_lines=10, weight=0.0)
+
+    def test_stream_params_validated(self):
+        with pytest.raises(ConfigError):
+            Region(size_lines=10, weight=1.0, kind="stream", streams=0)
+        with pytest.raises(ConfigError):
+            Region(size_lines=10, weight=1.0, repeats=0)
+        with pytest.raises(ConfigError):
+            Region(size_lines=10, weight=1.0, burst=0)
+
+
+class TestAppProfile:
+    def test_valid_profile(self):
+        p = minimal_profile()
+        assert p.footprint_lines == 100
+        assert p.total_region_weight == pytest.approx(1.0)
+
+    def test_unknown_category(self):
+        with pytest.raises(ConfigError):
+            minimal_profile(category="HYBRID")
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ConfigError):
+            minimal_profile(mem_frac=1.5)
+        with pytest.raises(ConfigError):
+            minimal_profile(mispredict_rate=-0.1)
+
+    def test_mem_plus_branch_bounded(self):
+        with pytest.raises(ConfigError):
+            minimal_profile(mem_frac=0.7, branch_frac=0.4)
+
+    def test_needs_regions(self):
+        with pytest.raises(ConfigError):
+            minimal_profile(regions=())
+
+    def test_dep_mean_bounded(self):
+        with pytest.raises(ConfigError):
+            minimal_profile(dep_mean=0.5)
+
+    def test_cluster_bounded(self):
+        with pytest.raises(ConfigError):
+            minimal_profile(cluster=0.0)

@@ -1,0 +1,86 @@
+"""Tests for the SPEC CPU2000 profile library."""
+
+import pytest
+
+from repro.workloads.spec2000 import PROFILES, get_profile, profile_names
+
+
+class TestCoverage:
+    def test_all_26_applications_present(self):
+        assert len(PROFILES) == 26
+
+    def test_expected_names(self):
+        expected_int = {
+            "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon",
+            "perlbmk", "gap", "vortex", "bzip2", "twolf",
+        }
+        expected_fp = {
+            "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art",
+            "equake", "facerec", "ammp", "lucas", "fma3d", "sixtrack",
+            "apsi",
+        }
+        assert expected_int | expected_fp == set(PROFILES)
+
+    def test_lookup(self):
+        assert get_profile("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            get_profile("doom")
+
+    def test_names_sorted(self):
+        names = profile_names()
+        assert names == sorted(names)
+
+
+class TestCategories:
+    def test_table2_mem_apps_marked_mem(self):
+        for app in ("mcf", "ammp", "swim", "lucas", "equake", "applu",
+                    "vpr", "facerec"):
+            assert get_profile(app).category == "MEM", app
+
+    def test_table2_ilp_apps_marked_ilp(self):
+        for app in ("gzip", "bzip2", "sixtrack", "eon", "mesa", "galgel",
+                    "crafty", "wupwise"):
+            assert get_profile(app).category == "ILP", app
+
+
+class TestCalibration:
+    @staticmethod
+    def expected_dram_rate(profile):
+        """Analytic accesses/100 instr from DRAM-resident regions."""
+        total_weight = profile.total_region_weight
+        rate = 0.0
+        for region in profile.regions:
+            if region.size_lines > 65536:  # beyond full-scale L3
+                rate += (
+                    100.0 * profile.mem_frac
+                    * (region.weight / total_weight) / region.repeats
+                )
+        return rate
+
+    def test_mcf_is_most_memory_intensive(self):
+        rates = {
+            name: self.expected_dram_rate(profile)
+            for name, profile in PROFILES.items()
+        }
+        assert max(rates, key=rates.get) == "mcf"
+        assert rates["mcf"] > 4.0
+
+    def test_mem_apps_above_one_per_100(self):
+        for app in ("mcf", "ammp", "swim", "lucas"):
+            assert self.expected_dram_rate(get_profile(app)) >= 1.5, app
+
+    def test_ilp_apps_below_0_1_per_100(self):
+        for app in ("gzip", "eon", "sixtrack", "mesa", "crafty"):
+            assert self.expected_dram_rate(get_profile(app)) < 0.1, app
+
+    def test_region_weights_normalized(self):
+        for name, profile in PROFILES.items():
+            assert profile.total_region_weight == pytest.approx(1.0, abs=0.02), name
+
+    def test_mcf_pointer_chasing_dominant(self):
+        assert get_profile("mcf").ptr_chase >= 0.4
+
+    def test_streaming_apps_have_stream_regions(self):
+        for app in ("swim", "lucas", "applu", "facerec"):
+            kinds = {r.kind for r in get_profile(app).regions}
+            assert "stream" in kinds, app
