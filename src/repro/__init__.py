@@ -30,6 +30,7 @@ schedulers), :mod:`repro.workloads` (synthetic SPEC2000 profiles),
 
 from repro.experiments.config import SystemConfig
 from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.parallel import ParallelRunner, ResultCache
 from repro.experiments.runner import MixResult, Runner, run_mix, run_single
 from repro.metrics.speedup import harmonic_mean_speedup, weighted_speedup
 from repro.workloads.mixes import all_mix_names, get_mix
@@ -40,6 +41,8 @@ __version__ = "1.0.0"
 __all__ = [
     "EXPERIMENTS",
     "MixResult",
+    "ParallelRunner",
+    "ResultCache",
     "Runner",
     "SystemConfig",
     "all_mix_names",

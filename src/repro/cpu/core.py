@@ -243,16 +243,50 @@ class SMTCore:
         self._unfinished = len(self.threads)
         deadline = self.cycle + max_cycles
         next_sweep = self.cycle + self._CALENDAR_SWEEP
+        # The tick sequence is inlined with pre-bound callables: this
+        # loop runs once per simulated cycle, so even the attribute
+        # lookups of `self.event_queue.run_until` are measurable.
+        # `self.cycle` itself must be re-read every iteration because
+        # `_maybe_skip` jumps it.
+        event_queue = self.event_queue
+        run_until = event_queue.run_until
+        # The heap list is peeked directly (its identity is stable;
+        # heappush mutates in place): most cycles have no due event,
+        # and a method call per cycle just to discover that is the
+        # single largest fixed cost of the loop.
+        heap = event_queue._heap
+        commit = self._commit
+        fetch = self._fetch
+        maybe_skip = self._maybe_skip
+        int_cal = self._int_cal
+        fp_cal = self._fp_cal
+        sweep_interval = self._CALENDAR_SWEEP
+        sampling = self._next_sample is not None
         while self._unfinished and self.cycle < deadline:
-            self._tick()
-            if self.cycle >= next_sweep:
-                self._int_cal.advance_floor(self.cycle)
-                self._fp_cal.advance_floor(self.cycle)
-                next_sweep = self.cycle + self._CALENDAR_SWEEP
+            cycle = self.cycle
+            if heap and heap[0][0] <= cycle:
+                run_until(cycle)
+            else:
+                event_queue._now = cycle
+            commit(cycle)
+            fetch(cycle)
+            if sampling and cycle >= self._next_sample:
+                self.timeline.append(
+                    (cycle, tuple(t.committed for t in self.threads))
+                )
+                self._next_sample = cycle + self.params.sample_interval
+            cycle += 1
+            self.cycle = cycle
+            if cycle >= next_sweep:
+                int_cal.advance_floor(cycle)
+                fp_cal.advance_floor(cycle)
+                next_sweep = cycle + sweep_interval
             if self._unfinished:
-                self._maybe_skip()
+                maybe_skip()
 
     def _tick(self) -> None:
+        """One un-inlined simulation cycle (kept for tests/tools; the
+        phase loop above inlines this sequence)."""
         cycle = self.cycle
         self.event_queue.run_until(cycle)
         self._commit(cycle)
@@ -307,6 +341,8 @@ class SMTCore:
         threads = self.threads
         n = len(threads)
         start = self._commit_ptr
+        load_op = OpClass.LOAD
+        store_op = OpClass.STORE
         for i in range(n):
             if not budget:
                 break
@@ -321,9 +357,9 @@ class SMTCore:
                 budget -= 1
                 t.committed += 1
                 opc = head.opc
-                if opc is OpClass.LOAD:
+                if opc is load_op:
                     self.lq_used -= 1
-                elif opc is OpClass.STORE:
+                elif opc is store_op:
                     self.sq_used -= 1
                 if (
                     t.finish_cycle is None

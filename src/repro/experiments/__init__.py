@@ -7,10 +7,14 @@
 * :mod:`repro.experiments.figures` -- one driver per paper figure
   (``figure1()`` ... ``figure10()``), each returning structured rows
   and able to print a paper-style table.
+* :mod:`repro.experiments.parallel` -- :class:`ParallelRunner` (a
+  process-pool :class:`Runner`) and :class:`ResultCache` (a persistent
+  on-disk store of simulation results).
 """
 
 from repro.experiments.config import SystemConfig
 from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.parallel import ParallelRunner, ResultCache
 from repro.experiments.runner import (
     MixResult,
     Runner,
@@ -21,6 +25,8 @@ from repro.experiments.runner import (
 __all__ = [
     "EXPERIMENTS",
     "MixResult",
+    "ParallelRunner",
+    "ResultCache",
     "Runner",
     "SystemConfig",
     "run_experiment",

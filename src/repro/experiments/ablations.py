@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.config import SystemConfig
-from repro.experiments.figures import ExperimentResult, _mix_names
+from repro.experiments.figures import ExperimentResult, _mix_names, _ws_jobs
 from repro.experiments.runner import Runner
 from repro.workloads.mixes import MIXES
 
@@ -40,6 +40,14 @@ def page_mode_ablation(
     config = config or SystemConfig()
     runner = runner or Runner()
     names = _mix_names(mixes, _DEFAULT_MIXES)
+    runner.run_many(
+        [
+            job
+            for m in names
+            for mode in ("open", "close")
+            for job in _ws_jobs(runner, config.with_(page_mode=mode), MIXES[m])
+        ]
+    )
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -69,6 +77,13 @@ def mshr_ablation(
     config = config or SystemConfig()
     runner = runner or Runner()
     names = _mix_names(mixes, _DEFAULT_MIXES)
+    runner.run_many(
+        [
+            (config.with_(mshr_entries=n), MIXES[m].apps)
+            for m in names
+            for n in capacities
+        ]
+    )
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -103,6 +118,18 @@ def scheduler_mapping_ablation(
         for scheduler in ("fcfs", "hit-first")
         for mapping in ("page", "xor")
     ]
+    runner.run_many(
+        [
+            job
+            for m in names
+            for scheduler, mapping in combos
+            for job in _ws_jobs(
+                runner,
+                config.with_(scheduler=scheduler, mapping=mapping),
+                MIXES[m],
+            )
+        ]
+    )
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -131,6 +158,13 @@ def color_mapping_ablation(
     config = config or SystemConfig()
     runner = runner or Runner()
     names = _mix_names(mixes, ("4-MEM", "8-MEM"))
+    runner.run_many(
+        [
+            (config.with_(mapping=mapping), MIXES[m].apps)
+            for m in names
+            for mapping in ("page", "xor", "color-xor")
+        ]
+    )
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -167,6 +201,14 @@ def vm_policy_ablation(
     runner = runner or Runner()
     names = _mix_names(mixes, ("4-MEM",))
     policies = ("none", "bin-hopping", "page-coloring", "random")
+    runner.run_many(
+        [
+            job
+            for m in names
+            for policy in policies
+            for job in _ws_jobs(runner, config.with_(vm_policy=policy), MIXES[m])
+        ]
+    )
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -200,6 +242,14 @@ def critical_scheduler_ablation(
     runner = runner or Runner()
     names = _mix_names(mixes, _DEFAULT_MIXES)
     schedulers = ("fcfs", "hit-first", "request-based", "critical-first")
+    runner.run_many(
+        [
+            job
+            for m in names
+            for s in schedulers
+            for job in _ws_jobs(runner, config.with_(scheduler=s), MIXES[m])
+        ]
+    )
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -231,6 +281,13 @@ def prefetch_ablation(
     config = config or SystemConfig()
     runner = runner or Runner()
     names = _mix_names(mixes, ("4-MEM", "2-MIX"))
+    runner.run_many(
+        [
+            (config.with_(prefetch=enabled), MIXES[m].apps)
+            for m in names
+            for enabled in (False, True)
+        ]
+    )
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]

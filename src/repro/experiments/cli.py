@@ -24,6 +24,7 @@ import time
 from repro.experiments.ablations import ABLATIONS
 from repro.experiments.config import SystemConfig
 from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import Runner, run_mix
 from repro.workloads.mixes import MIXES, all_mix_names
 
@@ -68,6 +69,27 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent simulations (default 1: "
+        "serial, the reproducible reference path)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persist simulation results under PATH and reuse them on "
+        "later invocations (off by default)",
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> Runner:
+    jobs = getattr(args, "jobs", 1) or 1
+    cache_dir = getattr(args, "cache_dir", None)
+    if jobs > 1 or cache_dir:
+        return ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    return Runner()
+
+
 def _config_from_args(args: argparse.Namespace) -> SystemConfig:
     overrides = {}
     mapping = {
@@ -104,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
         doc = (fn.__doc__ or "").strip().splitlines()[0]
         p = sub.add_parser(name, help=doc)
         _add_config_arguments(p)
+        _add_engine_arguments(p)
         p.add_argument(
             "--mixes", nargs="+", default=None,
             help=f"subset of workload mixes ({', '.join(all_mix_names())})",
@@ -119,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("all", help="run every figure (full evaluation)")
     _add_config_arguments(p)
+    _add_engine_arguments(p)
     p.add_argument("--mixes", nargs="+", default=None)
 
     p = sub.add_parser(
@@ -126,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run experiments and write a markdown report",
     )
     _add_config_arguments(p)
+    _add_engine_arguments(p)
     p.add_argument("--out", default="report.md", help="output path")
     p.add_argument(
         "--experiments", nargs="+", default=None,
@@ -142,7 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_figures(names: list[str], args: argparse.Namespace) -> None:
     config = _config_from_args(args)
-    runner = Runner()
+    runner = _make_runner(args)
     for name in names:
         start = time.time()
         kwargs = {"config": config, "runner": runner}
@@ -218,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
             config=_config_from_args(args),
             experiments=args.experiments,
             include_ablations=args.ablations,
+            runner=_make_runner(args),
             progress=lambda name: print(f"running {name}..."),
         )
         with open(args.out, "w") as handle:

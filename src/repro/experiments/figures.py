@@ -87,6 +87,22 @@ def _mix_names(subset: Sequence[str] | None, default: Sequence[str]) -> list[str
     return list(subset)
 
 
+def _ws_jobs(runner: Runner, config: SystemConfig, mix) -> list[tuple]:
+    """Jobs a ``runner.weighted_speedup(config, mix)`` call will need:
+    the multiprogrammed run plus one baseline per app."""
+    return [
+        (config, mix.apps),
+        *(runner.baseline_job(config, app) for app in mix.apps),
+    ]
+
+
+# Every driver below plans its complete job list up front and submits
+# it through ``runner.run_many`` before computing anything.  With the
+# default serial Runner this is a no-op rehearsal (results land in the
+# runner's cache and the original loops read them back for free); with
+# a ParallelRunner the whole figure fans out across worker processes.
+
+
 # ---------------------------------------------------------------------------
 # Figure 1
 
@@ -107,6 +123,15 @@ def figure1(
     runner = runner or Runner()
     if apps is None:
         apps = sorted(PROFILES)
+    variants = (
+        config,
+        config.with_(perfect_l3=True),
+        config.with_(perfect_l3=True, perfect_l2=True),
+        config.with_(perfect_l3=True, perfect_l2=True, perfect_l1=True),
+    )
+    runner.run_many(
+        [runner.baseline_job(v, app) for app in apps for v in variants]
+    )
     breakdowns = []
     for app in apps:
         cpi_real = 1.0 / runner.single_ipc(config, app)
@@ -152,6 +177,14 @@ def figure2(
     runner = runner or Runner()
     names = _mix_names(mixes, all_mix_names())
     baseline_config = config.with_(fetch_policy="icount")
+    jobs = []
+    for mix_name in names:
+        mix = MIXES[mix_name]
+        jobs.extend(runner.baseline_job(baseline_config, app) for app in mix.apps)
+        jobs.extend(
+            (config.with_(fetch_policy=policy), mix.apps) for policy in policies
+        )
+    runner.run_many(jobs)
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -198,6 +231,17 @@ def figure3(
     runner = runner or Runner()
     names = _mix_names(mixes, all_mix_names())
     reference_config = config.with_(perfect_l3=True, fetch_policy="icount")
+    jobs = []
+    for mix_name in names:
+        mix = MIXES[mix_name]
+        jobs.extend(
+            runner.baseline_job(reference_config, app) for app in mix.apps
+        )
+        jobs.append((reference_config, mix.apps))
+        jobs.extend(
+            (config.with_(fetch_policy=policy), mix.apps) for policy in policies
+        )
+    runner.run_many(jobs)
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -237,6 +281,7 @@ def figure4(
     config = config or SystemConfig()
     runner = runner or Runner()
     names = _mix_names(mixes, all_mix_names())
+    runner.run_many([(config, MIXES[m].apps) for m in names])
     rows = []
     for mix_name in names:
         result = runner.run_mix(config, MIXES[mix_name])
@@ -267,6 +312,7 @@ def figure5(
     config = config or SystemConfig()
     runner = runner or Runner()
     names = _mix_names(mixes, all_mix_names())
+    runner.run_many([(config, MIXES[m].apps) for m in names])
     max_threads = max(MIXES[m].threads for m in names)
     rows = []
     for mix_name in names:
@@ -306,6 +352,13 @@ def figure6(
     config = config or SystemConfig()
     runner = runner or Runner()
     names = _mix_names(mixes, all_mix_names())
+    jobs = []
+    for mix_name in names:
+        for n in channel_counts:
+            jobs.extend(
+                _ws_jobs(runner, config.with_(channels=n, gang=1), MIXES[mix_name])
+            )
+    runner.run_many(jobs)
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -349,6 +402,17 @@ def figure7(
     runner = runner or Runner()
     names = _mix_names(mixes, MEMORY_BOUND_MIXES)
     labels = [f"{c}C-{g}G" for c, g in organizations]
+    jobs = []
+    for mix_name in names:
+        for channels, gang in organizations:
+            jobs.extend(
+                _ws_jobs(
+                    runner,
+                    config.with_(channels=channels, gang=gang),
+                    MIXES[mix_name],
+                )
+            )
+    runner.run_many(jobs)
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -383,6 +447,13 @@ def _mapping_miss_rates(
     names: Sequence[str],
     dram_type: str,
 ) -> list[tuple]:
+    runner.run_many(
+        [
+            (config.with_(dram_type=dram_type, mapping=mapping), MIXES[m].apps)
+            for m in names
+            for mapping in ("page", "xor")
+        ]
+    )
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -459,6 +530,13 @@ def figure10(
     config = config or SystemConfig()
     runner = runner or Runner()
     names = _mix_names(mixes, MEMORY_BOUND_MIXES)
+    jobs = []
+    for mix_name in names:
+        for scheduler in schedulers:
+            jobs.extend(
+                _ws_jobs(runner, config.with_(scheduler=scheduler), MIXES[mix_name])
+            )
+    runner.run_many(jobs)
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]
@@ -499,6 +577,13 @@ def issue_coverage(
     config = config or SystemConfig()
     runner = runner or Runner()
     names = _mix_names(mixes, ("8-MIX", "8-MEM", "4-MEM"))
+    runner.run_many(
+        [
+            (config.with_(fetch_policy=policy), MIXES[m].apps)
+            for m in names
+            for policy in policies
+        ]
+    )
     rows = []
     for mix_name in names:
         mix = MIXES[mix_name]

@@ -1,0 +1,202 @@
+"""Parallel experiment engine with a persistent result cache.
+
+Every figure of the paper fans out dozens of *independent*
+``(config, apps)`` simulations.  This module turns that fan-out into
+an explicit job list and executes it three ways, fastest first:
+
+1. **In-process memo** — a plain dict shared with the owning
+   :class:`~repro.experiments.runner.Runner`, so repeated requests
+   inside one driver (and across drivers sharing a runner) are free.
+2. **Persistent on-disk cache** — :class:`ResultCache` pickles each
+   :class:`~repro.experiments.runner.MixResult` under a key derived
+   from ``config.cache_key()``, the app tuple, and a schema version
+   stamp.  Reruns of a figure sweep (or a different driver needing the
+   same baselines) complete without simulating anything.
+3. **Process pool** — remaining cache misses are deduplicated and
+   fanned across a :class:`concurrent.futures.ProcessPoolExecutor`.
+   Results are collected *by submission index*, never by completion
+   order, so the output is deterministic and bit-identical to a serial
+   run (each simulation is already deterministic given its config).
+
+:class:`ParallelRunner` is a drop-in :class:`Runner` whose
+``run_many`` uses the pool; ``jobs=1`` (the default everywhere) keeps
+the exact serial behaviour, so existing workflows reproduce verbatim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.runner import MixResult, Runner, run_mix
+
+#: Bump whenever the meaning of cached results changes (simulator
+#: semantics, MixResult schema, profile calibration, ...).  A bump
+#: silently invalidates every previously written cache entry.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _simulate(config: SystemConfig, apps: tuple[str, ...]) -> MixResult:
+    """Worker entry point (module-level so it pickles across the pool)."""
+    return run_mix(config, apps)
+
+
+class ResultCache:
+    """Persistent, versioned store of :class:`MixResult` objects.
+
+    Entries are one pickle file per job under ``cache_dir``, named by
+    the SHA-256 of ``(version, config.cache_key(), apps)``.  Writes go
+    through a per-pid temp file and :func:`os.replace`, so concurrent
+    workers (or concurrent drivers sharing a cache directory) never
+    observe a torn entry.  Corrupt or unreadable entries count as
+    misses and are re-simulated, never raised.
+    """
+
+    def __init__(
+        self, cache_dir: str | os.PathLike, version: int = CACHE_SCHEMA_VERSION
+    ) -> None:
+        self.cache_dir = Path(cache_dir).expanduser()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, config: SystemConfig, apps: Sequence[str]) -> Path:
+        """Cache file path for one job (exposed for inspection/tests)."""
+        key = (self.version, config.cache_key(), tuple(apps))
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()
+        return self.cache_dir / f"{digest}.pkl"
+
+    def get(self, config: SystemConfig, apps: Sequence[str]) -> MixResult | None:
+        # Unpickling corrupt bytes can raise nearly anything (ValueError,
+        # UnpicklingError, EOFError, ImportError, ...); any failure to
+        # read an entry is by contract a miss, so catch broadly.
+        try:
+            with open(self.path_for(config, apps), "rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(
+        self, config: SystemConfig, apps: Sequence[str], result: MixResult
+    ) -> None:
+        path = self.path_for(config, apps)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*.pkl"))
+
+    def clear(self) -> None:
+        for entry in self.cache_dir.glob("*.pkl"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+
+
+def run_many(
+    jobs: Sequence,
+    parallelism: int = 1,
+    cache: ResultCache | None = None,
+    memo: dict | None = None,
+) -> list[MixResult]:
+    """Run a list of ``(config, apps)`` jobs, in parallel where possible.
+
+    Results are returned in job order.  Duplicate jobs (same config
+    identity and apps) are simulated once; all layers — ``memo`` (an
+    in-process dict keyed ``(config.cache_key(), apps)``), the
+    persistent ``cache``, and the pool — are consulted in that order.
+    ``parallelism=1`` runs everything serially in-process, which is
+    bit-identical to the pooled path and is the deterministic default.
+    """
+    normalized = [(config, tuple(apps)) for config, apps in jobs]
+    results: list[MixResult | None] = [None] * len(normalized)
+    indices_for: dict[tuple, list[int]] = {}
+    todo: list[tuple[tuple, SystemConfig, tuple[str, ...]]] = []
+    for i, (config, apps) in enumerate(normalized):
+        key = (config.cache_key(), apps)
+        if key in indices_for:  # duplicate of a miss seen earlier
+            indices_for[key].append(i)
+            continue
+        cached = memo.get(key) if memo is not None else None
+        if cached is None and cache is not None:
+            cached = cache.get(config, apps)
+            if cached is not None and memo is not None:
+                memo[key] = cached
+        if cached is not None:
+            results[i] = cached
+            continue
+        indices_for[key] = [i]
+        todo.append((key, config, apps))
+
+    if todo:
+        if parallelism > 1 and len(todo) > 1:
+            workers = min(parallelism, len(todo))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_simulate, config, apps)
+                    for _, config, apps in todo
+                ]
+                fresh = [future.result() for future in futures]
+        else:
+            fresh = [_simulate(config, apps) for _, config, apps in todo]
+        for (key, config, apps), result in zip(todo, fresh):
+            if memo is not None:
+                memo[key] = result
+            if cache is not None:
+                cache.put(config, apps, result)
+            for i in indices_for[key]:
+                results[i] = result
+    return results  # fully populated; None only if a job list was empty
+
+
+class ParallelRunner(Runner):
+    """A :class:`Runner` that fans ``run_many`` across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count for :meth:`run_many` fan-outs.  ``1``
+        (default) keeps everything serial and in-process.
+    cache_dir:
+        Directory for the persistent :class:`ResultCache`.  ``None``
+        disables on-disk persistence (the in-process memo still
+        applies).
+    cache:
+        An existing :class:`ResultCache` to share between runners;
+        overrides ``cache_dir``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        baseline_multiplier: int = 3,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if cache is None and cache_dir is not None:
+            cache = ResultCache(cache_dir)
+        super().__init__(baseline_multiplier=baseline_multiplier, cache=cache)
+        self.jobs = jobs
+
+    def run_many(self, jobs: Sequence) -> list[MixResult]:
+        return run_many(
+            jobs, parallelism=self.jobs, cache=self.cache, memo=self._results
+        )

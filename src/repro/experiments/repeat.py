@@ -16,7 +16,7 @@ from typing import Callable, Sequence
 
 from repro.common.errors import ConfigError
 from repro.experiments.config import SystemConfig
-from repro.experiments.runner import MixResult, run_mix
+from repro.experiments.runner import MixResult, Runner
 
 
 @dataclass(frozen=True)
@@ -69,14 +69,25 @@ def repeat_mix(
     apps: Sequence[str],
     seeds: Sequence[int] = (1, 2, 3),
     metrics: dict[str, MetricFn] | None = None,
+    runner: Runner | None = None,
 ) -> dict[str, MetricSummary]:
-    """Run the mix once per seed; summarize each metric."""
+    """Run the mix once per seed; summarize each metric.
+
+    Per-seed runs are independent, so a
+    :class:`~repro.experiments.parallel.ParallelRunner` passed as
+    ``runner`` fans them out (and a cache-backed runner skips seeds it
+    has already simulated).
+    """
     if not seeds:
         raise ConfigError("at least one seed is required")
     metrics = metrics or DEFAULT_METRICS
+    runner = runner or Runner()
+    apps = tuple(apps)
+    results = runner.run_many(
+        [(config.with_(seed=seed), apps) for seed in seeds]
+    )
     collected: dict[str, list[float]] = {name: [] for name in metrics}
-    for seed in seeds:
-        result = run_mix(config.with_(seed=seed), apps)
+    for result in results:
         for name, fn in metrics.items():
             collected[name].append(fn(result))
     return {
@@ -116,6 +127,7 @@ def compare_configs(
     seeds: Sequence[int] = (1, 2, 3),
     metric: MetricFn | None = None,
     metric_name: str = "throughput",
+    runner: Runner | None = None,
 ) -> PairedComparison:
     """Paired A/B across seeds: same seed, same workload draw, two
     configurations.  Pairing removes the workload-sampling noise that
@@ -123,10 +135,16 @@ def compare_configs(
     if not seeds:
         raise ConfigError("at least one seed is required")
     metric = metric or (lambda r: r.throughput)
+    runner = runner or Runner()
+    apps = tuple(apps)
+    results = runner.run_many(
+        [(config_a.with_(seed=seed), apps) for seed in seeds]
+        + [(config_b.with_(seed=seed), apps) for seed in seeds]
+    )
     gains = []
-    for seed in seeds:
-        a = metric(run_mix(config_a.with_(seed=seed), apps))
-        b = metric(run_mix(config_b.with_(seed=seed), apps))
+    for i, seed in enumerate(seeds):
+        a = metric(results[i])
+        b = metric(results[i + len(seeds)])
         if a == 0:
             raise ConfigError(f"metric is zero under config A (seed {seed})")
         gains.append((b - a) / a)

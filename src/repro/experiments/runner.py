@@ -147,9 +147,14 @@ def run_single(config: SystemConfig, app: str) -> MixResult:
 class Runner:
     """Caching front-end for experiment drivers.
 
-    Multi-programmed runs are never cached (each figure varies the
-    interesting parameters); single-thread baselines are, keyed by
-    (config identity, app).
+    Every run — multiprogrammed or single-thread baseline — is memoized
+    in-process, keyed by ``(config.cache_key(), apps)``; all runs are
+    deterministic given that identity, so a cached result is
+    bit-identical to a fresh one.  An optional persistent
+    :class:`~repro.experiments.parallel.ResultCache` sits behind the
+    memo, so independently constructed runners (separate figure
+    drivers, repeat CLI invocations) share baselines and mix results
+    across processes.
 
     ``baseline_multiplier`` stretches the instruction budget of
     single-thread baseline runs: weighted speedup divides by the
@@ -157,28 +162,61 @@ class Runner:
     WS number; longer (cached, cheap) baselines damp it.
     """
 
-    def __init__(self, baseline_multiplier: int = 3) -> None:
+    def __init__(self, baseline_multiplier: int = 3, cache=None) -> None:
         if baseline_multiplier < 1:
             raise ValueError("baseline_multiplier must be >= 1")
         self.baseline_multiplier = baseline_multiplier
-        self._single_cache: dict[tuple, MixResult] = {}
+        #: Optional persistent ResultCache (see repro.experiments.parallel).
+        self.cache = cache
+        self._results: dict[tuple, MixResult] = {}
+
+    def _cached_run(self, config: SystemConfig, apps: tuple[str, ...]) -> MixResult:
+        key = (config.cache_key(), apps)
+        result = self._results.get(key)
+        if result is not None:
+            return result
+        if self.cache is not None:
+            result = self.cache.get(config, apps)
+        if result is None:
+            result = run_mix(config, apps)
+            if self.cache is not None:
+                self.cache.put(config, apps, result)
+        self._results[key] = result
+        return result
 
     def run_mix(self, config: SystemConfig, mix: WorkloadMix | Sequence[str]) -> MixResult:
         apps = mix.apps if isinstance(mix, WorkloadMix) else tuple(mix)
-        return run_mix(config, apps)
+        return self._cached_run(config, apps)
 
-    def single(self, config: SystemConfig, app: str) -> MixResult:
-        config = config.with_(
+    def run_many(self, jobs: Sequence) -> list[MixResult]:
+        """Run a list of ``(config, apps)`` jobs, returning results in order.
+
+        The serial reference implementation; every job goes through the
+        shared cache, so duplicates cost nothing.
+        :class:`~repro.experiments.parallel.ParallelRunner` overrides
+        this with a process-pool fan-out — figure drivers submit their
+        whole job list here before reading individual results, so one
+        runner swap parallelizes every experiment path.
+        """
+        return [
+            self._cached_run(config, tuple(apps)) for config, apps in jobs
+        ]
+
+    def baseline_config(self, config: SystemConfig) -> SystemConfig:
+        """The (budget-stretched) config a single-thread baseline runs on."""
+        return config.with_(
             instructions_per_thread=(
                 config.instructions_per_thread * self.baseline_multiplier
             )
         )
-        key = (config.cache_key(), app)
-        result = self._single_cache.get(key)
-        if result is None:
-            result = run_single(config, app)
-            self._single_cache[key] = result
-        return result
+
+    def baseline_job(self, config: SystemConfig, app: str) -> tuple:
+        """The ``(config, apps)`` job :meth:`single` would run — lets
+        drivers enqueue baselines in a :meth:`run_many` batch."""
+        return (self.baseline_config(config), (app,))
+
+    def single(self, config: SystemConfig, app: str) -> MixResult:
+        return self._cached_run(self.baseline_config(config), (app,))
 
     def single_ipc(self, config: SystemConfig, app: str) -> float:
         return self.single(config, app).core.threads[0].ipc

@@ -120,13 +120,30 @@ class Sweep:
         Without ``metrics``, each point records weighted speedup and
         throughput.
         """
+        want_baselines = metrics is None
         if metrics is None:
             metrics = {
                 "weighted_speedup": lambda r, ctx: ctx.weighted_speedup(r),
                 "throughput": lambda r, ctx: r.throughput,
             }
+        grid = self.grid()
+        apps = tuple(apps)
+        # Submit the whole grid up front (plus, for the default metric
+        # set, the baselines its weighted-speedup column will ask for);
+        # a parallel runner fans these out, a serial one just warms its
+        # cache.  Custom metrics that call ctx.weighted_speedup still
+        # work — their baselines run lazily through the same cache.
+        jobs = []
+        for overrides in grid:
+            config = self.base_config.with_(**overrides)
+            jobs.append((config, apps))
+            if want_baselines:
+                jobs.extend(
+                    self.runner.baseline_job(config, app) for app in apps
+                )
+        self.runner.run_many(jobs)
         points = []
-        for overrides in self.grid():
+        for overrides in grid:
             config = self.base_config.with_(**overrides)
             result = self.runner.run_mix(config, apps)
             context = _MetricContext(self.runner, config, apps)

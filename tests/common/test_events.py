@@ -61,6 +61,28 @@ class TestScheduling:
         assert seen == [(1, 2, 3)]
 
 
+class TestEmptyHeapFastPath:
+    def test_empty_queue_advances_now(self):
+        q = EventQueue()
+        assert q.run_until(42) == 42
+        assert q.now == 42
+
+    def test_head_beyond_window_advances_now_without_firing(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(100, fired.append, "x")
+        assert q.run_until(50) == 50
+        assert q.now == 50
+        assert fired == []
+        assert len(q) == 1
+
+    def test_fast_path_then_past_scheduling_still_raises(self):
+        q = EventQueue()
+        q.run_until(10)  # empty-heap early-out must still move the clock
+        with pytest.raises(SimulationError):
+            q.schedule(9, lambda: None)
+
+
 class TestCascading:
     def test_event_scheduling_event_within_window(self):
         q = EventQueue()

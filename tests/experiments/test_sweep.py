@@ -66,4 +66,6 @@ class TestRun:
         )
         sweep.run(["gzip"])
         # both scheduler configs need gzip singles; they were cached
-        assert len(runner._single_cache) == 2
+        for scheduler in ("fcfs", "hit-first"):
+            cfg = runner.baseline_config(quick_config.with_(scheduler=scheduler))
+            assert (cfg.cache_key(), ("gzip",)) in runner._results
