@@ -1,0 +1,107 @@
+"""Wall-clock cost of the telemetry subsystem on a figure-scale mix.
+
+Runs the same 2-thread memory-bound mix three ways and reports wall
+clock per configuration:
+
+1. telemetry off (the tier-1 / figure path — no ``telemetry=`` at all),
+2. metrics only (``Telemetry()`` — registry live, no tracer),
+3. metrics + full event trace (``Telemetry(tracer=EventTracer())``).
+
+The contract under test: (1) pays nothing for the subsystem existing —
+the null-instrument fast path keeps it within noise of the seed
+simulator — and every configuration produces bit-identical cycle
+counts.  Runnable as a pytest (marked ``slow``, excluded from tier-1)
+or directly::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+"""
+
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.runner import run_mix
+from repro.telemetry import EventTracer, Telemetry
+from repro.workloads.mixes import MIXES
+
+_APPS = MIXES["2-MEM"].apps
+_REPEATS = 5
+
+
+def _config(instructions: int) -> SystemConfig:
+    return SystemConfig(
+        scale=8,
+        instructions_per_thread=instructions,
+        warmup_instructions=max(200, instructions // 4),
+        seed=2005,
+    )
+
+
+def _time(fn, repeats: int = _REPEATS) -> tuple[float, object]:
+    """Median-of-N wall time; medians shrug off scheduler noise that
+    would dominate a single-shot measurement at this scale."""
+    samples = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples), result
+
+
+def run_bench(instructions: int = 2500) -> dict:
+    config = _config(instructions)
+    off_s, off = _time(lambda: run_mix(config, _APPS))
+    metrics_s, metrics = _time(
+        lambda: run_mix(config, _APPS, telemetry=Telemetry())
+    )
+
+    def traced():
+        telemetry = Telemetry(tracer=EventTracer())
+        result = run_mix(config, _APPS, telemetry=telemetry)
+        return result, telemetry.tracer
+
+    trace_s, (trace_result, tracer) = _time(traced)
+    assert off.core.cycles == metrics.core.cycles == trace_result.core.cycles
+    assert off.ipcs == metrics.ipcs == trace_result.ipcs
+    return {
+        "off_s": off_s,
+        "metrics_s": metrics_s,
+        "trace_s": trace_s,
+        "metrics_overhead": metrics_s / off_s - 1.0,
+        "trace_overhead": trace_s / off_s - 1.0,
+        "events": tracer.emitted,
+        "cycles": off.core.cycles,
+    }
+
+
+def _report(stats: dict) -> str:
+    return (
+        f"2-MEM mix ({stats['cycles']} cycles): "
+        f"off {stats['off_s'] * 1e3:.0f}ms, "
+        f"metrics {stats['metrics_s'] * 1e3:.0f}ms "
+        f"(+{stats['metrics_overhead']:.0%}), "
+        f"metrics+trace {stats['trace_s'] * 1e3:.0f}ms "
+        f"(+{stats['trace_overhead']:.0%}, "
+        f"{stats['events']} events)"
+    )
+
+
+@pytest.mark.slow
+def test_telemetry_overhead():
+    budget = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "2500"))
+    stats = run_bench(instructions=budget)
+    print()
+    print(_report(stats))
+    # Bit-identical results are asserted inside run_bench; the enabled
+    # paths must stay affordable enough to leave on during debugging.
+    assert stats["metrics_overhead"] < 0.50
+    assert stats["trace_overhead"] < 1.00
+    assert stats["events"] > 0
+
+
+if __name__ == "__main__":
+    print(_report(run_bench()))

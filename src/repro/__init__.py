@@ -33,18 +33,28 @@ from repro.experiments.figures import EXPERIMENTS, run_experiment
 from repro.experiments.parallel import ParallelRunner, ResultCache
 from repro.experiments.runner import MixResult, Runner, run_mix, run_single
 from repro.metrics.speedup import harmonic_mean_speedup, weighted_speedup
+from repro.telemetry import (
+    EventTracer,
+    MetricRegistry,
+    RunManifest,
+    Telemetry,
+)
 from repro.workloads.mixes import all_mix_names, get_mix
 from repro.workloads.spec2000 import get_profile, profile_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EXPERIMENTS",
+    "EventTracer",
+    "MetricRegistry",
     "MixResult",
     "ParallelRunner",
     "ResultCache",
+    "RunManifest",
     "Runner",
     "SystemConfig",
+    "Telemetry",
     "all_mix_names",
     "get_mix",
     "get_profile",

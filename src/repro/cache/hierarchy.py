@@ -27,7 +27,7 @@ from repro.common.errors import ConfigError
 from repro.common.events import EventQueue
 from repro.common.types import MemAccessType, MemRequest
 from repro.cache.cache import SetAssocCache
-from repro.cache.mshr import MSHRFile, MSHRStatus
+from repro.cache.mshr import MSHRFile
 from repro.cache.prefetch import PrefetchQuota, StridePrefetcher
 from repro.cache.tlb import TLB
 from repro.dram.system import MemorySystem
@@ -126,6 +126,7 @@ class MemoryHierarchy:
         event_queue: EventQueue,
         memory: MemorySystem | None,
         translator=None,
+        telemetry=None,
     ) -> None:
         if memory is None and not params.perfect_l3:
             raise ConfigError("a MemorySystem is required unless perfect_l3 is set")
@@ -146,7 +147,14 @@ class MemoryHierarchy:
         self.l3 = SetAssocCache(
             "L3", p.scaled_size(p.l3_size, p.l3_assoc), p.l3_assoc, p.line_bytes
         )
-        self.mshr = MSHRFile(p.mshr_entries)
+        tracer = telemetry.tracer if telemetry is not None else None
+        if tracer is not None:
+            self.mshr = MSHRFile(
+                p.mshr_entries, tracer=tracer,
+                clock=lambda: event_queue.now,
+            )
+        else:
+            self.mshr = MSHRFile(p.mshr_entries)
         self.dtlb = TLB(p.tlb_entries, p.tlb_page_bytes, p.tlb_penalty)
         if p.prefetch and not p.perfect_l1:
             self.prefetcher = StridePrefetcher(
@@ -445,6 +453,7 @@ class MemoryHierarchy:
         self._dram_loads_per_thread = {}
         self.mshr.merges = 0
         self.mshr.rejections = 0
+        self.mshr.allocations = 0
         self.prefetch_fills = 0
         self.prefetch_dram_reads = 0
         if self.memory is not None:

@@ -34,15 +34,24 @@ class _Entry:
 
 
 class MSHRFile:
-    """A fixed-size file of miss entries keyed by line address."""
+    """A fixed-size file of miss entries keyed by line address.
 
-    def __init__(self, entries: int = 16) -> None:
+    ``tracer``/``clock`` (a :class:`repro.telemetry.EventTracer` and a
+    zero-argument now-callable) turn every allocate / merge / reject
+    into a structured trace event; both default to off and cost one
+    ``None`` check per registration when disabled.
+    """
+
+    def __init__(self, entries: int = 16, tracer=None, clock=None) -> None:
         if entries < 1:
             raise ConfigError(f"MSHR entries must be >= 1, got {entries}")
         self.entries = entries
         self._by_line: dict[int, _Entry] = {}
         self.merges = 0
         self.rejections = 0
+        self.allocations = 0
+        self._tracer = tracer if clock is not None else None
+        self._clock = clock
 
     def __len__(self) -> int:
         return len(self._by_line)
@@ -67,15 +76,28 @@ class MSHRFile:
             if waiter is not None:
                 entry.waiters.append(waiter)
             self.merges += 1
+            if self._tracer is not None:
+                self._trace("mshr.merge", line_addr, thread_id)
             return MSHRStatus.MERGED
         if len(self._by_line) >= self.entries:
             self.rejections += 1
+            if self._tracer is not None:
+                self._trace("mshr.full", line_addr, thread_id)
             return MSHRStatus.FULL
         entry = _Entry(line_addr, thread_id)
         if waiter is not None:
             entry.waiters.append(waiter)
         self._by_line[line_addr] = entry
+        self.allocations += 1
+        if self._tracer is not None:
+            self._trace("mshr.alloc", line_addr, thread_id)
         return MSHRStatus.NEW
+
+    def _trace(self, name: str, line_addr: int, thread_id: int) -> None:
+        self._tracer.emit(
+            self._clock(), name, "cache.mshr", thread_id,
+            args={"line": line_addr, "occupancy": len(self._by_line)},
+        )
 
     def initiator(self, line_addr: int) -> int:
         """Thread that allocated the entry (owner of the primary miss)."""

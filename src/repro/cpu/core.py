@@ -99,6 +99,9 @@ class SMTCore:
 
     #: How often (cycles) slot-calendar floors advance for pruning.
     _CALENDAR_SWEEP = 4096
+    #: Occupancy-sampling period when telemetry is on but the caller
+    #: did not request an explicit ``sample_interval``.
+    _TELEMETRY_SAMPLE_INTERVAL = 128
 
     def __init__(
         self,
@@ -108,6 +111,7 @@ class SMTCore:
         fetch_policy: str | FetchPolicy,
         workloads: list[tuple[str, SyntheticStream]],
         icache_rngs: list | None = None,
+        telemetry=None,
     ) -> None:
         if not workloads:
             raise ConfigError("at least one thread is required")
@@ -142,9 +146,33 @@ class SMTCore:
         # issue cycles is a single comparison.
         self._last_int_issue_cycle = -1
         self._int_issue_cycles = 0
+        #: Optional repro.telemetry.Telemetry session (None = disabled).
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        registry = (
+            telemetry.registry
+            if telemetry is not None and telemetry.registry.enabled
+            else None
+        )
+        self._registry = registry
+        if registry is not None:
+            ids = [t.thread_id for t in self.threads]
+            self._s_committed = [
+                registry.series(f"cpu.t{i}.committed") for i in ids
+            ]
+            self._h_rob = [
+                registry.histogram(f"cpu.t{i}.rob_occupancy") for i in ids
+            ]
+            self._h_int_iq = registry.histogram("cpu.iq.int_occupancy")
         #: Timeline samples: (cycle, committed-per-thread tuple).
         self.timeline: list[tuple[int, tuple[int, ...]]] = []
-        self._next_sample = params.sample_interval or None
+        #: Effective sampling period: the explicit ``sample_interval``
+        #: wins; a live registry turns sampling on at a default period
+        #: (occupancy histograms need periodic observation).
+        self._sample_every = params.sample_interval
+        if registry is not None and not self._sample_every:
+            self._sample_every = self._TELEMETRY_SAMPLE_INTERVAL
+        self._next_sample = self._sample_every or None
         if params.branch_predictor:
             self._predictors = [HybridPredictor() for _ in self.threads]
             self._btbs = [BranchTargetBuffer() for _ in self.threads]
@@ -214,6 +242,28 @@ class SMTCore:
             )
         elapsed = max(1, self.cycle - start)
         coverage = (self._int_issue_cycles - issue_cycles_base) / elapsed
+        registry = self._registry
+        if registry is not None:
+            registry.counter("cpu.cycles").add(self.cycle - start)
+            registry.gauge("cpu.int_issue_coverage").set(min(1.0, coverage))
+            registry.add_counters(
+                "cpu.stall",
+                {k: v - stall_base[k] for k, v in self.stall_cycles.items()},
+            )
+            registry.add_counters(
+                "cpu.dispatch_reject",
+                {
+                    k: v - rejection_base[k]
+                    for k, v in self.dispatch_rejections.items()
+                },
+            )
+            for r in results:
+                prefix = f"cpu.t{r.thread_id}"
+                registry.counter(f"{prefix}.instructions").add(r.committed)
+                registry.counter(f"{prefix}.dram_accesses").add(
+                    r.dram_accesses
+                )
+                registry.gauge(f"{prefix}.ipc").set(r.committed / r.cycles)
         return CoreResult(
             cycles=self.cycle - start,
             threads=tuple(results),
@@ -271,10 +321,8 @@ class SMTCore:
             commit(cycle)
             fetch(cycle)
             if sampling and cycle >= self._next_sample:
-                self.timeline.append(
-                    (cycle, tuple(t.committed for t in self.threads))
-                )
-                self._next_sample = cycle + self.params.sample_interval
+                self._sample(cycle)
+                self._next_sample = cycle + self._sample_every
             cycle += 1
             self.cycle = cycle
             if cycle >= next_sweep:
@@ -283,6 +331,23 @@ class SMTCore:
                 next_sweep = cycle + sweep_interval
             if self._unfinished:
                 maybe_skip()
+        if sampling:
+            # Trailing partial-interval sample: short runs would
+            # otherwise lose every instruction committed after the last
+            # periodic sample (see metrics.timeline.interval_ipcs).
+            self._sample(self.cycle)
+
+    def _sample(self, cycle: int) -> None:
+        """Record one timeline/occupancy observation at ``cycle``."""
+        if self.params.sample_interval:
+            self.timeline.append(
+                (cycle, tuple(t.committed for t in self.threads))
+            )
+        if self._registry is not None:
+            for i, t in enumerate(self.threads):
+                self._s_committed[i].record(cycle, t.committed)
+                self._h_rob[i].observe(len(t.rob))
+            self._h_int_iq.observe(self.int_iq_used)
 
     def _tick(self) -> None:
         """One un-inlined simulation cycle (kept for tests/tools; the
@@ -292,11 +357,8 @@ class SMTCore:
         self._commit(cycle)
         self._fetch(cycle)
         if self._next_sample is not None and cycle >= self._next_sample:
-            self.timeline.append(
-                (cycle, tuple(t.committed for t in self.threads))
-            )
-            interval = self.params.sample_interval
-            self._next_sample = cycle + interval
+            self._sample(cycle)
+            self._next_sample = cycle + self._sample_every
         self.cycle = cycle + 1
 
     def _maybe_skip(self) -> None:
@@ -372,6 +434,12 @@ class SMTCore:
     # ------------------------------------------------------------------
     # fetch / dispatch stage
 
+    @property
+    def tracer(self):
+        """The live event tracer, or None (fetch policies emit
+        gate events through this)."""
+        return self._tracer
+
     def _fetch(self, cycle: int) -> None:
         params = self.params
         stalls = self.stall_cycles
@@ -398,6 +466,11 @@ class SMTCore:
             miss_rate = t.stream.profile.icache_miss_rate
             if miss_rate and t.icache_rng.random() < miss_rate:
                 t.fetch_blocked_until = cycle + params.icache_miss_penalty
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        cycle, "fetch.icache_miss", "cpu.fetch", t.thread_id,
+                        dur=params.icache_miss_penalty,
+                    )
                 threads_used += 1
                 continue
             taken = 0
@@ -515,6 +588,11 @@ class SMTCore:
             # it after the refill penalty.
             t.fetch_blocked_until = FOREVER
             node.add_waiter(self._make_branch_unblock(t))
+            if self._tracer is not None:
+                self._tracer.emit(
+                    cycle, "fetch.redirect", "cpu.fetch", t.thread_id,
+                    args={"reason": "branch-mispredict"},
+                )
         if node.deps_left == 0:
             self._schedule_issue(node)
         return 2 if mispredicted else 1

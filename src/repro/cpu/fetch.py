@@ -38,6 +38,24 @@ class FetchPolicy:
     ) -> List["ThreadContext"]:
         raise NotImplementedError
 
+    def _trace_gate(
+        self, core: "SMTCore", cycle: int, threads, reason: str
+    ) -> None:
+        """Record that this policy gated ``threads`` out of fetching.
+
+        Cheap no-op when tracing is off (one attribute read on the
+        core); gating decisions are exactly what the paper's fetch
+        policies differ on, so they are first-class trace events.
+        """
+        tracer = getattr(core, "tracer", None)
+        if tracer is None:
+            return
+        for t in threads:
+            tracer.emit(
+                cycle, "fetch.gate", "cpu.fetch", t.thread_id,
+                args={"policy": self.name, "reason": reason},
+            )
+
 
 def _icount_key(thread: "ThreadContext") -> tuple:
     return (thread.unissued, thread.thread_id)
@@ -79,12 +97,23 @@ class FetchStallPolicy(FetchPolicy):
             if hierarchy.outstanding_l2_misses(t.thread_id) == 0
         ]
         if clean:
+            tracing = getattr(core, "tracer", None) is not None
+            if tracing and len(clean) < len(eligible):
+                self._trace_gate(
+                    core, cycle,
+                    [t for t in eligible if t not in clean], "l2-miss",
+                )
             return sorted(clean, key=_icount_key)
         if not eligible:
             return []
         # All threads have long-latency misses: keep exactly one
         # (the least-loaded) fetching so the pipeline never drains.
-        return [min(eligible, key=_icount_key)]
+        keep = min(eligible, key=_icount_key)
+        if getattr(core, "tracer", None) is not None:
+            self._trace_gate(
+                core, cycle, [t for t in eligible if t is not keep], "l2-miss"
+            )
+        return [keep]
 
 
 class DGPolicy(FetchPolicy):
@@ -107,6 +136,12 @@ class DGPolicy(FetchPolicy):
             t for t in eligible
             if hierarchy.outstanding_l2_misses(t.thread_id) == 0
         ]
+        tracing = getattr(core, "tracer", None) is not None
+        if tracing and len(clean) < len(eligible):
+            self._trace_gate(
+                core, cycle,
+                [t for t in eligible if t not in clean], "dcache-miss",
+            )
         return sorted(clean, key=_icount_key)
 
 
@@ -146,10 +181,20 @@ class DWarnPolicy(FetchPolicy):
         limit = self.iq_pressure_threshold * core.params.int_iq_size
         if core.int_iq_used >= limit:
             if clean:
+                if getattr(core, "tracer", None) is not None and warned:
+                    self._trace_gate(core, cycle, warned, "iq-pressure")
                 return clean
             # Never drain the pipeline completely: least-loaded
             # warned thread stays eligible.
-            return [min(warned, key=_icount_key)] if warned else []
+            if not warned:
+                return []
+            keep = min(warned, key=_icount_key)
+            if getattr(core, "tracer", None) is not None:
+                self._trace_gate(
+                    core, cycle, [t for t in warned if t is not keep],
+                    "iq-pressure",
+                )
+            return [keep]
         warned.sort(key=_icount_key)
         return clean + warned
 

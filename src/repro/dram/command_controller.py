@@ -40,6 +40,7 @@ from repro.dram.geometry import DRAMGeometry
 from repro.dram.schedulers import Scheduler
 from repro.dram.stats import DRAMStats
 from repro.dram.timing import DRAMTiming
+from repro.telemetry.registry import NULL_REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dram.system import MemorySystem
@@ -92,6 +93,7 @@ class CommandChannelController:
         event_queue: EventQueue,
         stats: DRAMStats,
         system: "MemorySystem",
+        telemetry=None,
     ) -> None:
         self.channel_id = channel_id
         self.timing = timing
@@ -100,6 +102,20 @@ class CommandChannelController:
         self.event_queue = event_queue
         self.stats = stats
         self.system = system
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        registry = (
+            telemetry.registry
+            if telemetry is not None and telemetry.registry.enabled
+            else NULL_REGISTRY
+        )
+        prefix = f"dram.ch{channel_id}"
+        self._c_row_hits = registry.counter(f"{prefix}.row_hits")
+        self._c_row_misses = registry.counter(f"{prefix}.row_misses")
+        self._c_reads = registry.counter(f"{prefix}.reads")
+        self._c_writes = registry.counter(f"{prefix}.writes")
+        self._c_commands = {
+            c: registry.counter(f"{prefix}.cmd.{c.value}") for c in Command
+        }
         self.banks = [
             _BankState() for _ in range(geometry.banks_per_logical_channel)
         ]
@@ -226,21 +242,57 @@ class CommandChannelController:
                 if earliest_future is not None:
                     self._wake_at(earliest_future)
                 return
-            request = self.scheduler.select(ready, now, self)
-            self._issue(request, self._next_command(request), now)
+            if self._tracer is not None:
+                request, reason = self.scheduler.select_with_reason(
+                    ready, now, self
+                )
+            else:
+                request = self.scheduler.select(ready, now, self)
+                reason = None
+            self._issue(request, self._next_command(request), now, reason)
             issued_something = True
 
-    def _issue(self, request: MemRequest, command: Command, now: int) -> None:
+    def _trace_command(
+        self,
+        name: str,
+        request: MemRequest,
+        now: int,
+        dur: int,
+        reason: str | None,
+    ) -> None:
+        args = {
+            "channel": self.channel_id,
+            "bank": request.bank,
+            "row": request.row,
+            "req": request.req_id,
+        }
+        if reason is not None:
+            args["reason"] = reason
+            args["scheduler"] = self.scheduler.name
+        self._tracer.emit(
+            now, name, "dram.cmd", request.thread_id, dur=dur, args=args
+        )
+
+    def _issue(
+        self,
+        request: MemRequest,
+        command: Command,
+        now: int,
+        reason: str | None = None,
+    ) -> None:
         bank = self.banks[request.bank]
         timing = self.timing
         self.cmd_free_at = now + timing.t_cmd
         self.commands_issued[command] += 1
+        self._c_commands[command].add()
         if request.issue_time < 0:
             request.issue_time = now
         if command is Command.PRECHARGE:
             self._prepared.add(request.req_id)
             bank.open_row = None
             bank.ready_at = now + timing.t_pre
+            if self._tracer is not None:
+                self._trace_command("dram.PRE", request, now, timing.t_pre, reason)
             return
         if command is Command.ACTIVATE:
             self._prepared.add(request.req_id)
@@ -248,6 +300,8 @@ class CommandChannelController:
             bank.ready_at = now + timing.t_row  # tRCD
             bank.activated_at = now
             self.last_activate_at = now
+            if self._tracer is not None:
+                self._trace_command("dram.ACT", request, now, timing.t_row, reason)
             return
         # READ / WRITE: schedule the data burst.
         direction = "r" if command is Command.READ else "w"
@@ -274,6 +328,20 @@ class CommandChannelController:
             data_end + timing.ctrl_response if request.is_read else data_end
         )
         self.stats.record_service(request.is_read, hit, request.thread_id)
+        (self._c_row_hits if hit else self._c_row_misses).add()
+        (self._c_reads if request.is_read else self._c_writes).add()
+        if self._tracer is not None:
+            name = "dram.CAS.read" if request.is_read else "dram.CAS.write"
+            self._trace_command(name, request, now, timing.t_col, reason)
+            self._tracer.emit(
+                data_start, "dram.burst", "dram.bus", request.thread_id,
+                dur=self.transfer,
+                args={
+                    "channel": self.channel_id,
+                    "bank": request.bank,
+                    "hit": hit,
+                },
+            )
         if request.is_read:
             queue_delay = max(0, now - (request.arrival + timing.ctrl_request))
             self.stats.record_read_latency(

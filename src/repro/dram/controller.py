@@ -30,6 +30,7 @@ from repro.dram.geometry import DRAMGeometry
 from repro.dram.schedulers import Scheduler
 from repro.dram.stats import DRAMStats
 from repro.dram.timing import DRAMTiming
+from repro.telemetry.registry import NULL_REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dram.system import MemorySystem
@@ -52,6 +53,7 @@ class ChannelController:
         event_queue: EventQueue,
         stats: DRAMStats,
         system: "MemorySystem",
+        telemetry=None,
     ) -> None:
         self.channel_id = channel_id
         self.timing = timing
@@ -60,6 +62,17 @@ class ChannelController:
         self.event_queue = event_queue
         self.stats = stats
         self.system = system
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        registry = (
+            telemetry.registry
+            if telemetry is not None and telemetry.registry.enabled
+            else NULL_REGISTRY
+        )
+        prefix = f"dram.ch{channel_id}"
+        self._c_row_hits = registry.counter(f"{prefix}.row_hits")
+        self._c_row_misses = registry.counter(f"{prefix}.row_misses")
+        self._c_reads = registry.counter(f"{prefix}.reads")
+        self._c_writes = registry.counter(f"{prefix}.writes")
         self.banks = [Bank() for _ in range(geometry.banks_per_logical_channel)]
         self.transfer = timing.transfer_for_gang(geometry.gang)
         #: How far ahead (cycles) the bus may be committed before the
@@ -133,10 +146,18 @@ class ChannelController:
             if not ready:
                 self._wake_at(min(banks[r.bank].free_at for r in pool))
                 return
-            request = self.scheduler.select(ready, now, self)
-            self._issue(request, now)
+            if self._tracer is not None:
+                request, reason = self.scheduler.select_with_reason(
+                    ready, now, self
+                )
+            else:
+                request = self.scheduler.select(ready, now, self)
+                reason = None
+            self._issue(request, now, reason)
 
-    def _issue(self, request: MemRequest, now: int) -> None:
+    def _issue(
+        self, request: MemRequest, now: int, reason: str | None = None
+    ) -> None:
         bank = self.banks[request.bank]
         latency = bank.service_latency(request.row, self.page_mode, self.timing)
         data_start = max(now + latency, self.bus_free_at)
@@ -150,6 +171,27 @@ class ChannelController:
             data_end + self.timing.ctrl_response if request.is_read else data_end
         )
         self.stats.record_service(request.is_read, hit, request.thread_id)
+        (self._c_row_hits if hit else self._c_row_misses).add()
+        (self._c_reads if request.is_read else self._c_writes).add()
+        if self._tracer is not None:
+            tracer = self._tracer
+            tracer.emit(
+                now, "dram.pick", "dram.sched", request.thread_id,
+                args={
+                    "reason": reason,
+                    "scheduler": self.scheduler.name,
+                    "channel": self.channel_id,
+                    "bank": request.bank,
+                    "row": request.row,
+                    "hit": hit,
+                    "op": "read" if request.is_read else "write",
+                },
+            )
+            tracer.emit(
+                data_start, "dram.burst", "dram.bus", request.thread_id,
+                dur=self.transfer,
+                args={"channel": self.channel_id, "bank": request.bank},
+            )
         if request.is_read:
             queue_delay = max(0, now - (request.arrival + self.timing.ctrl_request))
             self.stats.record_read_latency(

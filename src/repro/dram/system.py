@@ -58,6 +58,7 @@ class MemorySystem:
         page_mode: PageMode = PageMode.OPEN,
         scheduler: str | Scheduler = "hit-first",
         controller_model: str = "request",
+        telemetry=None,
     ) -> None:
         self.event_queue = event_queue
         self.geometry = geometry
@@ -81,6 +82,7 @@ class MemorySystem:
                 f"got {controller_model!r}"
             )
         self.controller_model = controller_model
+        self.telemetry = telemetry
         self.stats = DRAMStats()
         self.channels = [
             controller_cls(
@@ -92,6 +94,7 @@ class MemorySystem:
                 event_queue=event_queue,
                 stats=self.stats,
                 system=self,
+                telemetry=telemetry,
             )
             for i in range(geometry.logical_channels)
         ]
@@ -111,6 +114,7 @@ class MemorySystem:
         page_mode: PageMode = PageMode.OPEN,
         scheduler: str | Scheduler = "hit-first",
         controller_model: str = "request",
+        telemetry=None,
     ) -> "MemorySystem":
         """Multi-channel DDR SDRAM system (Table 1 defaults)."""
         return cls(
@@ -121,6 +125,7 @@ class MemorySystem:
             page_mode=page_mode,
             scheduler=scheduler,
             controller_model=controller_model,
+            telemetry=telemetry,
         )
 
     @classmethod
@@ -133,6 +138,7 @@ class MemorySystem:
         page_mode: PageMode = PageMode.OPEN,
         scheduler: str | Scheduler = "hit-first",
         controller_model: str = "request",
+        telemetry=None,
     ) -> "MemorySystem":
         """Multi-channel Direct Rambus system (32 banks/chip)."""
         return cls(
@@ -143,6 +149,7 @@ class MemorySystem:
             page_mode=page_mode,
             scheduler=scheduler,
             controller_model=controller_model,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------

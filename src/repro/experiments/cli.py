@@ -26,6 +26,12 @@ from repro.experiments.config import SystemConfig
 from repro.experiments.figures import EXPERIMENTS, run_experiment
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import Runner, run_mix
+from repro.telemetry import EventTracer, Telemetry
+from repro.telemetry.manifest import (
+    RunManifest,
+    RunRecord,
+    default_manifest_dir,
+)
 from repro.workloads.mixes import MIXES, all_mix_names
 
 
@@ -69,6 +75,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_manifest_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--manifest-dir", default=None, metavar="PATH",
+        help="directory for run manifests (default: $REPRO_MANIFEST_DIR "
+        "or a stable directory under the system temp dir)",
+    )
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -80,6 +94,7 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="persist simulation results under PATH and reuse them on "
         "later invocations (off by default)",
     )
+    _add_manifest_argument(parser)
 
 
 def _make_runner(args: argparse.Namespace) -> Runner:
@@ -115,10 +130,16 @@ def _config_from_args(args: argparse.Namespace) -> SystemConfig:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-smt-dram",
         description="Reproduction of Zhu & Zhang, 'A Performance Comparison "
         "of DRAM Memory System Optimizations for SMT Processors' (HPCA 2005)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -139,6 +160,43 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("mix", help="run one workload mix and print statistics")
     p.add_argument("mix_name", choices=all_mix_names())
     _add_config_arguments(p)
+    _add_manifest_argument(p)
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="run with a live metric registry and print a summary",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also record an event trace and write it to PATH",
+    )
+    p.add_argument(
+        "--trace-format", choices=("chrome", "jsonl"), default="chrome",
+        help="trace export format (chrome: open in ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--trace-capacity", type=int, default=1 << 16, metavar="N",
+        help="event ring-buffer size; oldest events drop beyond this",
+    )
+
+    p = sub.add_parser(
+        "trace",
+        help="run one mix with cycle-level event tracing and export it",
+    )
+    p.add_argument("mix_name", choices=all_mix_names())
+    _add_config_arguments(p)
+    _add_manifest_argument(p)
+    p.add_argument(
+        "--trace-out", default="trace.json", metavar="PATH",
+        help="output path (default trace.json)",
+    )
+    p.add_argument(
+        "--trace-format", choices=("chrome", "jsonl"), default="chrome",
+        help="trace export format (chrome: open in ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--trace-capacity", type=int, default=1 << 16, metavar="N",
+        help="event ring-buffer size; oldest events drop beyond this",
+    )
 
     p = sub.add_parser("all", help="run every figure (full evaluation)")
     _add_config_arguments(p)
@@ -165,7 +223,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_figures(names: list[str], args: argparse.Namespace) -> None:
+def _print_runner_manifest(runner: Runner, args: argparse.Namespace) -> None:
+    path = runner.write_manifest(getattr(args, "manifest_dir", None))
+    print(f"[manifest: {path}]")
+
+
+def _print_single_run_manifest(
+    config: SystemConfig,
+    apps: tuple[str, ...],
+    telemetry: Telemetry | None,
+    wall_time_s: float,
+    args: argparse.Namespace,
+) -> None:
+    manifest = RunManifest(
+        records=[
+            RunRecord.from_run(config, apps, wall_time_s=wall_time_s)
+        ],
+        metrics=(
+            telemetry.snapshot()
+            if telemetry is not None and telemetry.registry.enabled
+            else {}
+        ),
+        wall_time_s=wall_time_s,
+    )
+    directory = getattr(args, "manifest_dir", None) or default_manifest_dir()
+    print(f"[manifest: {manifest.write(directory)}]")
+
+
+def _run_figures(names: list[str], args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     runner = _make_runner(args)
     for name in names:
@@ -184,6 +269,8 @@ def _run_figures(names: list[str], args: argparse.Namespace) -> None:
             print(f"[rows written to {csv_path}]")
         print(f"[{name} completed in {time.time() - start:.1f}s]")
         print()
+    _print_runner_manifest(runner, args)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -201,9 +288,39 @@ def main(argv: list[str] | None = None) -> int:
         for name in all_mix_names():
             print(f"  {name:<6} {', '.join(MIXES[name].apps)}")
         return 0
+    if args.command == "trace":
+        config = _config_from_args(args)
+        apps = MIXES[args.mix_name].apps
+        tracer = EventTracer(capacity=args.trace_capacity)
+        telemetry = Telemetry(tracer=tracer)
+        start = time.time()
+        result = run_mix(config, apps, telemetry=telemetry)
+        wall = time.time() - start
+        if args.trace_format == "chrome":
+            tracer.write_chrome(args.trace_out)
+        else:
+            tracer.write_jsonl(args.trace_out)
+        print(
+            f"{args.mix_name}: {result.core.cycles} cycles, "
+            f"{tracer.emitted} events recorded "
+            f"({tracer.dropped} dropped by the ring buffer)"
+        )
+        print(f"[trace written to {args.trace_out} ({args.trace_format})]")
+        _print_single_run_manifest(config, apps, telemetry, wall, args)
+        return 0
     if args.command == "mix":
         config = _config_from_args(args)
-        result = run_mix(config, MIXES[args.mix_name].apps)
+        apps = MIXES[args.mix_name].apps
+        tracer = (
+            EventTracer(capacity=args.trace_capacity)
+            if args.trace_out else None
+        )
+        telemetry = None
+        if args.telemetry or tracer is not None:
+            telemetry = Telemetry(tracer=tracer)
+        start = time.time()
+        result = run_mix(config, apps, telemetry=telemetry)
+        wall = time.time() - start
         print(result.core)
         if result.dram is not None:
             stats = result.dram
@@ -232,26 +349,52 @@ def main(argv: list[str] | None = None) -> int:
             f"issue coverage: {result.core.int_issue_coverage:.1%} of "
             f"cycles issued an integer op"
         )
+        if telemetry is not None and args.telemetry:
+            snap = telemetry.snapshot()
+            print(
+                f"telemetry: {len(snap['counters'])} counters, "
+                f"{len(snap['gauges'])} gauges, "
+                f"{len(snap['histograms'])} histograms, "
+                f"{len(snap['series'])} series"
+            )
+        if tracer is not None:
+            if args.trace_format == "chrome":
+                tracer.write_chrome(args.trace_out)
+            else:
+                tracer.write_jsonl(args.trace_out)
+            print(
+                f"[trace written to {args.trace_out} ({args.trace_format})]"
+            )
+        _print_single_run_manifest(config, apps, telemetry, wall, args)
         return 0
     if args.command == "all":
-        _run_figures(list(EXPERIMENTS), args)
-        return 0
+        return _run_figures(list(EXPERIMENTS), args)
     if args.command == "report":
         from repro.experiments.reportgen import generate_report
 
+        known = set(EXPERIMENTS) | set(ABLATIONS)
+        unknown = [e for e in (args.experiments or []) if e not in known]
+        if unknown:
+            print(
+                f"error: unknown experiment(s): {', '.join(unknown)}; "
+                f"run 'list' to see what is available",
+                file=sys.stderr,
+            )
+            return 2
+        runner = _make_runner(args)
         text = generate_report(
             config=_config_from_args(args),
             experiments=args.experiments,
             include_ablations=args.ablations,
-            runner=_make_runner(args),
+            runner=runner,
             progress=lambda name: print(f"running {name}..."),
         )
         with open(args.out, "w") as handle:
             handle.write(text)
         print(f"report written to {args.out}")
+        _print_runner_manifest(runner, args)
         return 0
-    _run_figures([args.command], args)
-    return 0
+    return _run_figures([args.command], args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,22 +28,37 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Sequence
 
 from repro.experiments.config import SystemConfig
 from repro.experiments.runner import MixResult, Runner, run_mix
+from repro.telemetry import Telemetry
 
 #: Bump whenever the meaning of cached results changes (simulator
 #: semantics, MixResult schema, profile calibration, ...).  A bump
 #: silently invalidates every previously written cache entry.
-CACHE_SCHEMA_VERSION = 1
+#: v2: MixResult grew the ``metrics`` telemetry-snapshot field.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _simulate(config: SystemConfig, apps: tuple[str, ...]) -> MixResult:
     """Worker entry point (module-level so it pickles across the pool)."""
     return run_mix(config, apps)
+
+
+def _simulate_with_metrics(
+    config: SystemConfig, apps: tuple[str, ...]
+) -> MixResult:
+    """Worker entry point with a live metric registry per simulation.
+
+    The registry snapshot travels back to the parent on
+    ``MixResult.metrics`` (plain builtins, so it pickles), where the
+    owning runner merges snapshots in submission order.
+    """
+    return run_mix(config, apps, telemetry=Telemetry())
 
 
 class ResultCache:
@@ -114,6 +129,7 @@ def run_many(
     parallelism: int = 1,
     cache: ResultCache | None = None,
     memo: dict | None = None,
+    collect_metrics: bool = False,
 ) -> list[MixResult]:
     """Run a list of ``(config, apps)`` jobs, in parallel where possible.
 
@@ -123,6 +139,8 @@ def run_many(
     persistent ``cache``, and the pool — are consulted in that order.
     ``parallelism=1`` runs everything serially in-process, which is
     bit-identical to the pooled path and is the deterministic default.
+    ``collect_metrics`` gives each fresh simulation a live metric
+    registry whose snapshot rides back on ``MixResult.metrics``.
     """
     normalized = [(config, tuple(apps)) for config, apps in jobs]
     results: list[MixResult | None] = [None] * len(normalized)
@@ -145,16 +163,17 @@ def run_many(
         todo.append((key, config, apps))
 
     if todo:
+        simulate = _simulate_with_metrics if collect_metrics else _simulate
         if parallelism > 1 and len(todo) > 1:
             workers = min(parallelism, len(todo))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(_simulate, config, apps)
+                    pool.submit(simulate, config, apps)
                     for _, config, apps in todo
                 ]
                 fresh = [future.result() for future in futures]
         else:
-            fresh = [_simulate(config, apps) for _, config, apps in todo]
+            fresh = [simulate(config, apps) for _, config, apps in todo]
         for (key, config, apps), result in zip(todo, fresh):
             if memo is not None:
                 memo[key] = result
@@ -188,15 +207,51 @@ class ParallelRunner(Runner):
         cache_dir: str | os.PathLike | None = None,
         baseline_multiplier: int = 3,
         cache: ResultCache | None = None,
+        collect_metrics: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
-        super().__init__(baseline_multiplier=baseline_multiplier, cache=cache)
+        super().__init__(
+            baseline_multiplier=baseline_multiplier,
+            cache=cache,
+            collect_metrics=collect_metrics,
+        )
         self.jobs = jobs
 
     def run_many(self, jobs: Sequence) -> list[MixResult]:
-        return run_many(
-            jobs, parallelism=self.jobs, cache=self.cache, memo=self._results
+        normalized = [(config, tuple(apps)) for config, apps in jobs]
+        already = set(self._results)
+        start = time.perf_counter()
+        results = run_many(
+            normalized,
+            parallelism=self.jobs,
+            cache=self.cache,
+            memo=self._results,
+            collect_metrics=self.collect_metrics,
         )
+        wall = time.perf_counter() - start
+        # Provenance, in submission order.  The batched path cannot
+        # distinguish a disk-cache hit from a pool simulation cheaply,
+        # so anything not already memoized is recorded as served by
+        # this batch; per-record wall time is the batch total split
+        # evenly (indicative, not a measurement).
+        new = [
+            (config, apps) for config, apps in normalized
+            if (config.cache_key(), apps) not in already
+        ]
+        per_run = wall / len(new) if new else 0.0
+        batch_source = "pool" if self.jobs > 1 else "simulated"
+        for config, apps in normalized:
+            key = (config.cache_key(), apps)
+            if key in already:
+                self._record(config, apps, "memo")
+            else:
+                self._record(config, apps, batch_source, per_run)
+        return results
+
+    def manifest(self):
+        m = super().manifest()
+        m.workers = self.jobs
+        return m

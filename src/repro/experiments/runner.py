@@ -10,7 +10,9 @@ every figure reuses them across many multiprogrammed runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 from repro.common.events import EventQueue
@@ -24,6 +26,13 @@ from repro.dram.system import MemorySystem
 from repro.experiments.config import SystemConfig
 from repro.os.vm import VirtualMemory
 from repro.metrics.speedup import weighted_speedup
+from repro.telemetry import MetricRegistry, Telemetry
+from repro.telemetry.manifest import (
+    RunManifest,
+    RunRecord,
+    default_manifest_dir,
+    run_id as _run_id,
+)
 from repro.workloads.generator import SyntheticStream
 from repro.workloads.mixes import WorkloadMix
 from repro.workloads.spec2000 import get_profile
@@ -38,6 +47,9 @@ class MixResult:
     core: CoreResult
     dram: DRAMStats | None
     hierarchy: HierarchySnapshot
+    #: Telemetry registry snapshot (see :mod:`repro.telemetry`); None
+    #: when the run executed without a live registry.
+    metrics: dict | None = field(default=None, compare=False)
 
     @property
     def ipcs(self) -> list[float]:
@@ -61,7 +73,7 @@ class MixResult:
 
 
 def build_system(
-    config: SystemConfig, apps: Sequence[str]
+    config: SystemConfig, apps: Sequence[str], telemetry: Telemetry | None = None
 ) -> tuple[SMTCore, MemorySystem | None, MemoryHierarchy]:
     """Construct (but do not run) a full system for the given apps."""
     event_queue = EventQueue()
@@ -76,6 +88,7 @@ def build_system(
             page_mode=config.page_mode_enum,
             scheduler=config.scheduler,
             controller_model=config.controller_model,
+            telemetry=telemetry,
         )
     else:
         memory = MemorySystem.rdram(
@@ -86,6 +99,7 @@ def build_system(
             page_mode=config.page_mode_enum,
             scheduler=config.scheduler,
             controller_model=config.controller_model,
+            telemetry=telemetry,
         )
     translator = None
     if config.vm_policy != "none":
@@ -96,7 +110,11 @@ def build_system(
             rng=child_rng(config.seed, "vm"),
         )
     hierarchy = MemoryHierarchy(
-        config.hierarchy_params(), event_queue, memory, translator=translator
+        config.hierarchy_params(),
+        event_queue,
+        memory,
+        translator=translator,
+        telemetry=telemetry,
     )
     workloads = []
     icache_rngs = []
@@ -116,26 +134,61 @@ def build_system(
         config.fetch_policy,
         workloads,
         icache_rngs,
+        telemetry=telemetry,
     )
     prewarm(hierarchy, [stream.footprint() for _, stream in workloads])
     return core, memory, hierarchy
 
 
-def run_mix(config: SystemConfig, apps: Sequence[str]) -> MixResult:
+def run_mix(
+    config: SystemConfig,
+    apps: Sequence[str],
+    telemetry: Telemetry | None = None,
+) -> MixResult:
     """Build and run one multiprogrammed mix to completion."""
-    core, memory, hierarchy = build_system(config, apps)
+    core, memory, hierarchy = build_system(config, apps, telemetry)
     result = core.run(
         config.instructions_per_thread,
         warmup_instructions=config.warmup_instructions,
         max_cycles=config.max_cycles,
     )
     dram_stats = memory.finish() if memory is not None else None
+    snapshot = hierarchy.snapshot()
+    metrics = None
+    if telemetry is not None and telemetry.registry.enabled:
+        registry = telemetry.registry
+        registry.add_counters(
+            "cache",
+            {
+                "loads": snapshot.loads,
+                "stores": snapshot.stores,
+                "dram_reads_issued": snapshot.dram_reads_issued,
+                "mshr.merges": snapshot.mshr_merges,
+                "mshr.rejections": snapshot.mshr_rejections,
+                "mshr.allocations": hierarchy.mshr.allocations,
+            },
+        )
+        registry.set_gauges(
+            "cache",
+            {
+                "l1d_hit_rate": snapshot.l1d_hit_rate,
+                "l2_hit_rate": snapshot.l2_hit_rate,
+                "l3_hit_rate": snapshot.l3_hit_rate,
+                "dtlb_hit_rate": snapshot.dtlb_hit_rate,
+            },
+        )
+        if dram_stats is not None:
+            registry.set_gauges(
+                "dram", {"row_miss_rate": dram_stats.row_miss_rate}
+            )
+        metrics = registry.snapshot()
     return MixResult(
         config=config,
         apps=tuple(apps),
         core=result,
         dram=dram_stats,
-        hierarchy=hierarchy.snapshot(),
+        hierarchy=snapshot,
+        metrics=metrics,
     )
 
 
@@ -162,27 +215,84 @@ class Runner:
     WS number; longer (cached, cheap) baselines damp it.
     """
 
-    def __init__(self, baseline_multiplier: int = 3, cache=None) -> None:
+    def __init__(
+        self,
+        baseline_multiplier: int = 3,
+        cache=None,
+        collect_metrics: bool = False,
+    ) -> None:
         if baseline_multiplier < 1:
             raise ValueError("baseline_multiplier must be >= 1")
         self.baseline_multiplier = baseline_multiplier
         #: Optional persistent ResultCache (see repro.experiments.parallel).
         self.cache = cache
+        #: When set, fresh simulations run with a live MetricRegistry
+        #: and their snapshots land on ``MixResult.metrics`` and in the
+        #: manifest.
+        self.collect_metrics = collect_metrics
         self._results: dict[tuple, MixResult] = {}
+        #: Provenance of every distinct run served, keyed by run id
+        #: (first source wins -- a later memo hit does not demote a
+        #: "simulated" record).
+        self._records: dict[str, RunRecord] = {}
+
+    def _record(
+        self, config: SystemConfig, apps: tuple[str, ...], source: str,
+        wall_time_s: float = 0.0,
+    ) -> None:
+        rid = _run_id(config, apps)
+        if rid not in self._records:
+            self._records[rid] = RunRecord.from_run(
+                config, apps, source=source, wall_time_s=wall_time_s
+            )
 
     def _cached_run(self, config: SystemConfig, apps: tuple[str, ...]) -> MixResult:
         key = (config.cache_key(), apps)
         result = self._results.get(key)
         if result is not None:
+            self._record(config, apps, "memo")
             return result
         if self.cache is not None:
             result = self.cache.get(config, apps)
+            if result is not None:
+                self._record(config, apps, "disk-cache")
         if result is None:
-            result = run_mix(config, apps)
+            start = time.perf_counter()
+            if self.collect_metrics:
+                result = run_mix(config, apps, telemetry=Telemetry())
+            else:
+                result = run_mix(config, apps)
+            self._record(
+                config, apps, "simulated", time.perf_counter() - start
+            )
             if self.cache is not None:
                 self.cache.put(config, apps, result)
         self._results[key] = result
         return result
+
+    # ------------------------------------------------------------------
+    # provenance
+
+    @property
+    def records(self) -> list[RunRecord]:
+        """Run records collected so far, in first-served order."""
+        return list(self._records.values())
+
+    def manifest(self) -> RunManifest:
+        """Provenance manifest for every run this runner has served."""
+        snapshots = [
+            r.metrics for r in self._results.values() if r.metrics
+        ]
+        return RunManifest(
+            records=self.records,
+            metrics=MetricRegistry.merge(snapshots) if snapshots else {},
+            wall_time_s=sum(r.wall_time_s for r in self._records.values()),
+        )
+
+    def write_manifest(self, directory=None) -> Path:
+        """Write the manifest (see :meth:`manifest`); return its path."""
+        target = default_manifest_dir() if directory is None else directory
+        return self.manifest().write(target)
 
     def run_mix(self, config: SystemConfig, mix: WorkloadMix | Sequence[str]) -> MixResult:
         apps = mix.apps if isinstance(mix, WorkloadMix) else tuple(mix)

@@ -69,3 +69,39 @@ def cpi_breakdown(
         cpi_l3=max(0.0, cpi_perfect_l3 - cpi_perfect_l2),
         cpi_mem=max(0.0, cpi_overall - cpi_perfect_l3),
     )
+
+
+def cpi_from_metrics(snapshot: dict, thread: int = 0) -> float:
+    """CPI of one thread from a telemetry registry snapshot.
+
+    Uses the ``cpu.cycles`` and ``cpu.t{thread}.instructions`` counters
+    a run with a live registry publishes, so breakdowns can be computed
+    from ``MixResult.metrics`` (or a merged manifest) without keeping
+    the full result object around.
+    """
+    counters = snapshot.get("counters", {})
+    cycles = counters.get("cpu.cycles", 0)
+    instructions = counters.get(f"cpu.t{thread}.instructions", 0)
+    if instructions <= 0:
+        raise ValueError(
+            f"snapshot has no committed instructions for thread {thread}"
+        )
+    return cycles / instructions
+
+
+def cpi_breakdown_from_metrics(
+    app: str,
+    overall: dict,
+    perfect_l3: dict,
+    perfect_l2: dict,
+    perfect_l1: dict,
+    thread: int = 0,
+) -> CpiBreakdown:
+    """:func:`cpi_breakdown` fed from four registry snapshots."""
+    return cpi_breakdown(
+        app,
+        cpi_overall=cpi_from_metrics(overall, thread),
+        cpi_perfect_l3=cpi_from_metrics(perfect_l3, thread),
+        cpi_perfect_l2=cpi_from_metrics(perfect_l2, thread),
+        cpi_perfect_l1=cpi_from_metrics(perfect_l1, thread),
+    )

@@ -14,19 +14,41 @@ from typing import Sequence
 TimelineSample = tuple[int, tuple[int, ...]]
 
 
+def dedupe_timeline(
+    timeline: Sequence[TimelineSample],
+) -> list[TimelineSample]:
+    """Merge consecutive samples taken at the same cycle (keep the last).
+
+    The core appends a trailing sample when a run phase ends; on short
+    runs that can land on the same cycle as the last periodic sample.
+    Same cycle = zero span, so only the most recent committed counts
+    matter for interval math.
+    """
+    deduped: list[TimelineSample] = []
+    for sample in timeline:
+        if deduped and deduped[-1][0] == sample[0]:
+            deduped[-1] = sample
+        else:
+            deduped.append(sample)
+    return deduped
+
+
 def interval_ipcs(
     timeline: Sequence[TimelineSample],
 ) -> list[tuple[int, list[float]]]:
     """Per-interval, per-thread IPC between consecutive samples.
 
     Returns ``[(cycle, [ipc per thread]), ...]`` with one entry per
-    interval (``len(timeline) - 1`` entries).
+    distinct-cycle interval.  Consecutive samples at the same cycle are
+    merged (last write wins) rather than silently skipped, so a short
+    run whose trailing partial-interval sample coincides with a
+    periodic one still contributes every committed instruction to some
+    interval.
     """
+    timeline = dedupe_timeline(timeline)
     series = []
     for (c0, committed0), (c1, committed1) in zip(timeline, timeline[1:]):
         span = c1 - c0
-        if span <= 0:
-            continue
         series.append(
             (c1, [(b - a) / span for a, b in zip(committed0, committed1)])
         )
@@ -41,6 +63,31 @@ def aggregate_interval_ipcs(
         (cycle, sum(per_thread))
         for cycle, per_thread in interval_ipcs(timeline)
     ]
+
+
+def timeline_from_metrics(snapshot: dict) -> list[TimelineSample]:
+    """Rebuild a timeline from a telemetry registry snapshot.
+
+    Reads the ``cpu.t{i}.committed`` series a run with a live
+    :class:`~repro.telemetry.MetricRegistry` records, so the helpers in
+    this module work off ``MixResult.metrics`` even when
+    ``sample_interval`` was left at 0 (registry-driven sampling has its
+    own default cadence).
+    """
+    series = snapshot.get("series", {})
+    per_thread: list[list[tuple[int, int]]] = []
+    for i in range(len(series)):
+        samples = series.get(f"cpu.t{i}.committed")
+        if samples is None:
+            break
+        per_thread.append(samples)
+    if not per_thread:
+        return []
+    timeline: list[TimelineSample] = []
+    for points in zip(*per_thread):
+        cycle = points[0][0]
+        timeline.append((cycle, tuple(value for _, value in points)))
+    return timeline
 
 
 def burstiness(timeline: Sequence[TimelineSample]) -> float:

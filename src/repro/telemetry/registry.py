@@ -1,0 +1,301 @@
+"""Hierarchical metric registry: counters, gauges, histograms, series.
+
+Components register instruments against a shared dotted-name hierarchy
+(``cpu.t0.rob_occupancy``, ``dram.ch0.row_hits``, ``cache.mshr.merges``)
+and update them through tiny objects with ``__slots__``.  A
+:class:`NullRegistry` hands out shared no-op instruments instead, so a
+component written against the registry API costs a single dynamic
+dispatch per update when telemetry is disabled -- and components on
+per-cycle paths additionally guard with ``if tracer is not None`` so
+the disabled configuration stays bit-identical and near-free.
+
+Snapshots are plain nested dicts of builtins (sorted keys), so they
+pickle across process pools and merge deterministically:
+:meth:`MetricRegistry.merge` folds any number of snapshots in argument
+order, summing counters and histograms and keeping the last write for
+gauges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-write-wins scalar (rates, occupancies, ratios)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Log-scale (power-of-two bin) histogram of non-negative values.
+
+    Bin ``b`` counts observations with ``bit_length() == b``, i.e. bin
+    0 holds zeros, bin 1 holds 1, bin 2 holds 2-3, bin 3 holds 4-7 and
+    so on -- the standard latency/occupancy binning that keeps the
+    footprint O(log(max)) regardless of run length.
+    """
+
+    __slots__ = ("name", "bins", "count", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.bins: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative value {value}")
+        b = int(value).bit_length()
+        self.bins[b] = self.bins.get(b, 0) + 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class Series:
+    """Append-only ``(time, value)`` samples (timeline-style data)."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[tuple[int, int]] = []
+
+    def record(self, t: int, value: int) -> None:
+        self.samples.append((t, value))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Series({self.name}, n={len(self.samples)})"
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def add(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: int) -> None:
+        pass
+
+
+class _NullSeries:
+    __slots__ = ()
+
+    def record(self, t: int, value: int) -> None:
+        pass
+
+
+#: Shared no-op instruments handed out by :class:`NullRegistry`.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+NULL_SERIES = _NullSeries()
+
+
+class MetricRegistry:
+    """Get-or-create instrument store keyed by dotted metric name.
+
+    Requesting the same name twice returns the same instrument;
+    requesting it with a different type is an error (one name, one
+    meaning).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # instrument factories
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def series(self, name: str) -> Series:
+        return self._get(name, Series)
+
+    # ------------------------------------------------------------------
+    # bulk helpers
+
+    def add_counters(self, prefix: str, values: Mapping[str, int]) -> None:
+        """Fold a plain ``{name: count}`` mapping into counters."""
+        for key in sorted(values):
+            self.counter(f"{prefix}.{key}").add(values[key])
+
+    def set_gauges(self, prefix: str, values: Mapping[str, float]) -> None:
+        for key in sorted(values):
+            self.gauge(f"{prefix}.{key}").set(values[key])
+
+    def names(self, prefix: str = "") -> list[str]:
+        """Registered metric names under ``prefix``, sorted."""
+        return sorted(
+            n for n in self._metrics
+            if not prefix or n == prefix or n.startswith(prefix + ".")
+        )
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # snapshots
+
+    def snapshot(self) -> dict:
+        """Plain-builtin, picklable, deterministic view of every metric."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        series: dict[str, list] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            elif isinstance(metric, Histogram):
+                histograms[name] = {
+                    "bins": dict(sorted(metric.bins.items())),
+                    "count": metric.count,
+                    "total": metric.total,
+                }
+            else:
+                series[name] = list(metric.samples)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "series": series,
+        }
+
+    @staticmethod
+    def merge(snapshots: Iterable[dict]) -> dict:
+        """Fold snapshots in argument order into one snapshot dict.
+
+        Counters and histograms sum; gauges keep the last write; series
+        concatenate.  Deterministic given the input order, which is how
+        parallel runs aggregate worker metrics reproducibly (results
+        are collected in submission order, never completion order).
+        """
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        series: dict[str, list] = {}
+        for snap in snapshots:
+            if not snap:
+                continue
+            for name, value in snap.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            gauges.update(snap.get("gauges", {}))
+            for name, h in snap.get("histograms", {}).items():
+                into = histograms.setdefault(
+                    name, {"bins": {}, "count": 0, "total": 0}
+                )
+                for b, c in h["bins"].items():
+                    into["bins"][b] = into["bins"].get(b, 0) + c
+                into["count"] += h["count"]
+                into["total"] += h["total"]
+            for name, samples in snap.get("series", {}).items():
+                series.setdefault(name, []).extend(samples)
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": {
+                k: {**v, "bins": dict(sorted(v["bins"].items()))}
+                for k, v in sorted(histograms.items())
+            },
+            "series": dict(sorted(series.items())),
+        }
+
+
+class NullRegistry(MetricRegistry):
+    """The disabled fast path: every factory returns a shared no-op.
+
+    ``snapshot()`` is always empty and instruments store nothing, so a
+    component holding null instruments pays one no-op call per update
+    and the registry itself never grows.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def series(self, name: str) -> Series:  # type: ignore[override]
+        return NULL_SERIES  # type: ignore[return-value]
+
+    def add_counters(self, prefix, values) -> None:  # type: ignore[override]
+        pass
+
+    def set_gauges(self, prefix, values) -> None:  # type: ignore[override]
+        pass
+
+
+#: Shared disabled registry (stateless, safe to share everywhere).
+NULL_REGISTRY = NullRegistry()

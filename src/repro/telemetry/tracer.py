@@ -1,0 +1,201 @@
+"""Structured event tracer with Chrome-trace / Perfetto and JSONL export.
+
+The tracer records pipeline and DRAM events (fetch gating, MSHR
+allocation, PRE/ACT/CAS commands, scheduler picks with their reason)
+into a bounded ring buffer.  Hot paths hold the tracer behind an
+``if tracer is not None`` guard, so a run without tracing executes the
+exact same instruction sequence it did before the tracer existed.
+
+Timestamps are simulated CPU cycles.  The Chrome exporter writes them
+into the ``ts`` field unscaled (one cycle renders as one microsecond),
+which is the conventional trick for cycle-level traces: absolute time
+is meaningless in the viewer, relative structure is what matters.
+
+Export formats
+--------------
+* :meth:`EventTracer.chrome_trace` / :meth:`write_chrome` -- the Trace
+  Event Format consumed by Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``: ``{"traceEvents": [...]}`` with complete
+  (``"ph": "X"``) and instant (``"ph": "i"``) events.
+* :meth:`write_jsonl` -- one compact JSON object per line, for ad-hoc
+  ``grep``/pandas analysis of big traces.
+
+:func:`validate_chrome_trace` checks a document against the subset of
+the trace-event schema this module emits; the test suite runs every
+exported trace through it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Iterable, NamedTuple
+
+
+class TraceEvent(NamedTuple):
+    """One recorded event (``dur`` is None for instant events)."""
+
+    ts: int
+    name: str
+    cat: str
+    tid: int
+    dur: int | None
+    args: dict | None
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent` records.
+
+    When the buffer is full the *oldest* events are dropped (the tail
+    of a run is almost always the interesting part); ``dropped`` says
+    how many were lost so exporters can annotate truncation.
+    """
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def emit(
+        self,
+        ts: int,
+        name: str,
+        cat: str,
+        tid: int = 0,
+        dur: int | None = None,
+        args: dict | None = None,
+    ) -> None:
+        """Record one event at cycle ``ts`` (duration makes it a span)."""
+        self._events.append(TraceEvent(ts, name, cat, tid, dur, args))
+        self.emitted += 1
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, cat: str | None = None) -> list[TraceEvent]:
+        """Recorded events in emission order, optionally one category."""
+        if cat is None:
+            return list(self._events)
+        return [e for e in self._events if e.cat == cat]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # export
+
+    def chrome_trace(self, pid: int = 0) -> dict:
+        """The trace as a Trace-Event-Format document (a plain dict)."""
+        trace_events: list[dict] = []
+        for e in self._events:
+            event: dict = {
+                "name": e.name,
+                "cat": e.cat,
+                "ts": e.ts,
+                "pid": pid,
+                "tid": e.tid,
+            }
+            if e.dur is None:
+                event["ph"] = "i"
+                event["s"] = "t"  # thread-scoped instant
+            else:
+                event["ph"] = "X"
+                event["dur"] = e.dur
+            if e.args:
+                event["args"] = e.args
+            trace_events.append(event)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "cpu-cycles (1 cycle rendered as 1 us)",
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def write_chrome(self, path, pid: int = 0) -> None:
+        """Write the Chrome-trace/Perfetto JSON document to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(pid=pid), handle)
+
+    def write_jsonl(self, path) -> None:
+        """Write one compact JSON object per event to ``path``."""
+        with open(path, "w") as handle:
+            for e in self._events:
+                record: dict = {"ts": e.ts, "name": e.name, "cat": e.cat,
+                                "tid": e.tid}
+                if e.dur is not None:
+                    record["dur"] = e.dur
+                if e.args:
+                    record["args"] = e.args
+                handle.write(json.dumps(record, separators=(",", ":")))
+                handle.write("\n")
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Validate a document against the trace-event schema we emit.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is a well-formed Trace Event Format trace (JSON Object
+    Format, ``X``/``i`` phases).
+    """
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return [f"top level must be an object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key, types in (
+            ("name", str), ("cat", str), ("ph", str),
+            ("ts", (int, float)), ("pid", int), ("tid", int),
+        ):
+            if not isinstance(event.get(key), types):
+                errors.append(f"{where}: missing or mistyped {key!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            errors.append(f"{where}: unsupported phase {ph!r}")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            errors.append(f"{where}: 'X' event without numeric 'dur'")
+        if ph == "i" and event.get("s") not in ("g", "p", "t"):
+            errors.append(f"{where}: 'i' event scope must be g|p|t")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)) and ts < 0:
+            errors.append(f"{where}: negative ts")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+    return errors
+
+
+def load_jsonl(path) -> list[dict]:
+    """Read a JSONL trace back as a list of dicts (test/analysis aid)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def events_from_iterable(events: Iterable[TraceEvent]) -> "EventTracer":
+    """Build a tracer pre-loaded with events (exporter tests)."""
+    tracer = EventTracer()
+    for e in events:
+        tracer.emit(*e)
+    return tracer

@@ -6,7 +6,6 @@ from repro.cache.hierarchy import HierarchyParams, MemoryHierarchy
 from repro.cache.prewarm import prewarm
 from repro.dram.system import MemorySystem
 from repro.workloads.generator import SyntheticStream
-from repro.workloads.profile import Region
 from repro.workloads.spec2000 import get_profile
 
 

@@ -1,9 +1,6 @@
 """Tests for the per-channel controller timing engine."""
 
-import pytest
-
 from repro.common.events import EventQueue
-from repro.common.types import MemAccessType, MemRequest
 from repro.dram.bank import PageMode
 from repro.dram.system import MemorySystem
 from repro.dram.timing import ddr_timing

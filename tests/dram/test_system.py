@@ -5,7 +5,6 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.common.events import EventQueue
 from repro.common.types import MemAccessType, MemRequest
-from repro.dram.bank import PageMode
 from repro.dram.geometry import ddr_geometry, rdram_geometry
 from repro.dram.mapping import make_mapping
 from repro.dram.system import MemorySystem

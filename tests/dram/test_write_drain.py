@@ -31,9 +31,7 @@ class TestDrainHysteresis:
         for line in lines:
             system.write(line, 0)
         evq.run_all()
-        assert system.stats.writes == len(
-            [l for l in lines]
-        )
+        assert system.stats.writes == len(lines)
 
     def test_drain_exits_at_low_watermark(self):
         evq, system = build()

@@ -1,8 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.experiments.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _manifests_in_tmp(monkeypatch, tmp_path):
+    """Keep CLI-written run manifests inside the test sandbox."""
+    monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path / "manifests"))
 
 
 class TestParser:
@@ -87,3 +95,98 @@ class TestAblationCommands:
         ])
         assert code == 0
         assert target.read_text().startswith("mix,page,xor")
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestManifests:
+    QUICK = ["--instructions", "200", "--warmup", "50", "--scale", "32"]
+
+    def _manifest_path(self, out: str) -> str:
+        lines = [
+            line for line in out.splitlines()
+            if line.startswith("[manifest: ")
+        ]
+        assert lines, out
+        return lines[-1][len("[manifest: "):-1]
+
+    def test_mix_prints_manifest_path(self, capsys):
+        assert main(["mix", "2-ILP", *self.QUICK]) == 0
+        path = self._manifest_path(capsys.readouterr().out)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["runs"][0]["apps"] == ["bzip2", "gzip"]
+
+    def test_figure_prints_manifest_path(self, capsys, tmp_path):
+        assert main([
+            "fig8", *self.QUICK, "--mixes", "2-ILP",
+            "--manifest-dir", str(tmp_path / "custom"),
+        ]) == 0
+        path = self._manifest_path(capsys.readouterr().out)
+        assert str(tmp_path / "custom") in path
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["runs"]  # every simulated job recorded
+
+
+class TestTraceCommand:
+    QUICK = ["--instructions", "200", "--warmup", "50", "--scale", "32"]
+
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        from repro.telemetry import validate_chrome_trace
+
+        target = tmp_path / "trace.json"
+        code = main([
+            "trace", "2-MEM", *self.QUICK, "--trace-out", str(target),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[trace written to" in out
+        assert "[manifest: " in out
+        with open(target) as handle:
+            doc = json.load(handle)
+        assert validate_chrome_trace(doc) == []
+        assert doc["traceEvents"]
+
+    def test_trace_jsonl_format(self, capsys, tmp_path):
+        from repro.telemetry import load_jsonl
+
+        target = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "2-MEM", *self.QUICK,
+            "--trace-out", str(target), "--trace-format", "jsonl",
+        ])
+        assert code == 0
+        records = load_jsonl(target)
+        assert records and all("ts" in r and "name" in r for r in records)
+
+    def test_mix_telemetry_and_trace_flags(self, capsys, tmp_path):
+        target = tmp_path / "mix-trace.json"
+        code = main([
+            "mix", "2-MEM", *self.QUICK,
+            "--telemetry", "--trace-out", str(target),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert target.exists()
+
+
+class TestErrorExits:
+    def test_unknown_report_experiment_exits_2(self, capsys, tmp_path):
+        code = main([
+            "report", "--experiments", "nope",
+            "--out", str(tmp_path / "report.md"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "nope" in err

@@ -75,6 +75,61 @@ class TestResultCache:
         assert clone.core.stall_cycles == result.core.stall_cycles
 
 
+def _hammer_cache(cache_dir, config, apps, result, rounds):
+    """Worker: rewrite the same cache entry over and over."""
+    cache = ResultCache(cache_dir)
+    for _ in range(rounds):
+        cache.put(config, apps, result)
+    return True
+
+
+class TestResultCacheConcurrency:
+    """Satellite: the os.replace write path under concurrent writers."""
+
+    def test_concurrent_writers_never_tear_an_entry(
+        self, tiny_config, tmp_path
+    ):
+        from concurrent.futures import ProcessPoolExecutor
+
+        result = run_mix(tiny_config, ("gzip",))
+        cache = ResultCache(tmp_path)
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(
+                    _hammer_cache, tmp_path, tiny_config, ("gzip",),
+                    result, 25,
+                )
+                for _ in range(4)
+            ]
+            # read while the writers race; a reader must only ever see
+            # a complete entry or (transiently) none at all
+            for _ in range(50):
+                loaded = cache.get(tiny_config, ("gzip",))
+                if loaded is not None:
+                    assert loaded.core.cycles == result.core.cycles
+            assert all(f.result() for f in futures)
+        final = cache.get(tiny_config, ("gzip",))
+        assert final is not None
+        assert final.core.cycles == result.core.cycles
+        # the per-pid temp files are always renamed away, never leaked
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_corrupt_entry_then_rewrite_round_trip(
+        self, tiny_config, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        result = run_mix(tiny_config, ("gzip",))
+        cache.put(tiny_config, ("gzip",), result)
+        path = cache.path_for(tiny_config, ("gzip",))
+        path.write_bytes(b"\x80\x05 torn mid-write")
+        assert cache.get(tiny_config, ("gzip",)) is None  # corrupt = miss
+        cache.put(tiny_config, ("gzip",), result)  # heal in place
+        healed = cache.get(tiny_config, ("gzip",))
+        assert healed is not None
+        assert healed.ipcs == result.ipcs
+        assert cache.misses == 1 and cache.hits == 1
+
+
 class TestRunMany:
     def test_preserves_job_order(self, tiny_config):
         jobs = [

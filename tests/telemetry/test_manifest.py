@@ -1,0 +1,120 @@
+"""Run manifests: identity, write/read round trip, merging."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.config import SystemConfig
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    RunRecord,
+    config_hash,
+    default_manifest_dir,
+    run_id,
+)
+from repro.telemetry.registry import MetricRegistry
+
+
+class TestIdentity:
+    def test_run_id_is_content_derived(self):
+        cfg = SystemConfig()
+        assert run_id(cfg, ("gzip",)) == run_id(cfg, ("gzip",))
+        assert run_id(cfg, ("gzip",)) != run_id(cfg, ("mcf",))
+        assert run_id(cfg, ("gzip",)) != run_id(
+            cfg.with_(scheduler="fcfs"), ("gzip",)
+        )
+
+    def test_config_hash_ignores_non_semantic_fields(self):
+        cfg = SystemConfig()
+        assert config_hash(cfg) == config_hash(SystemConfig())
+
+    def test_record_captures_provenance(self):
+        cfg = SystemConfig(seed=7)
+        record = RunRecord.from_run(
+            cfg, ["gzip", "mcf"], source="memo", wall_time_s=1.5
+        )
+        assert record.apps == ("gzip", "mcf")
+        assert record.seed == 7
+        assert record.scheduler == cfg.scheduler
+        assert record.source == "memo"
+        assert record.wall_time_s == 1.5
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        cfg = SystemConfig()
+        manifest = RunManifest(
+            records=[RunRecord.from_run(cfg, ("gzip",))],
+            wall_time_s=2.0,
+        )
+        path = manifest.write(tmp_path)
+        assert path.name == f"manifest-{manifest.manifest_id[:16]}.json"
+        doc = RunManifest.read(path)
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["manifest_id"] == manifest.manifest_id
+        assert doc["runs"][0]["apps"] == ["gzip"]
+        # no stray temp files left behind
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_same_jobs_same_filename(self, tmp_path):
+        cfg = SystemConfig()
+        a = RunManifest(records=[RunRecord.from_run(cfg, ("gzip",))])
+        b = RunManifest(records=[RunRecord.from_run(cfg, ("gzip",))])
+        assert a.write(tmp_path) == b.write(tmp_path)
+
+    def test_written_document_is_sorted_json(self, tmp_path):
+        manifest = RunManifest()
+        path = manifest.write(tmp_path)
+        with open(path) as handle:
+            text = handle.read()
+        assert json.loads(text)  # valid
+        assert text.index('"created"') < text.index('"schema"')
+
+
+class TestMerge:
+    def test_dedupes_by_run_id_first_wins(self):
+        cfg = SystemConfig()
+        first = RunManifest(
+            records=[RunRecord.from_run(cfg, ("gzip",), source="simulated")]
+        )
+        second = RunManifest(
+            records=[
+                RunRecord.from_run(cfg, ("gzip",), source="memo"),
+                RunRecord.from_run(cfg, ("mcf",)),
+            ],
+            workers=4,
+            wall_time_s=1.0,
+        )
+        merged = RunManifest.merge([first, second])
+        assert len(merged.records) == 2
+        assert merged.records[0].source == "simulated"
+        assert merged.workers == 4
+        assert merged.wall_time_s == 1.0
+
+    def test_merges_metric_snapshots_in_order(self):
+        reg_a = MetricRegistry()
+        reg_a.counter("dram.ch0.row_hits").add(2)
+        reg_b = MetricRegistry()
+        reg_b.counter("dram.ch0.row_hits").add(3)
+        merged = RunManifest.merge([
+            RunManifest(metrics=reg_a.snapshot()),
+            RunManifest(metrics=reg_b.snapshot()),
+        ])
+        assert merged.metrics["counters"]["dram.ch0.row_hits"] == 5
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = RunManifest.merge([])
+        assert merged.records == [] and merged.metrics == {}
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path / "m"))
+        assert default_manifest_dir() == tmp_path / "m"
+
+    def test_default_outside_working_tree(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_MANIFEST_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        path = default_manifest_dir()
+        assert tmp_path not in path.parents and path != tmp_path

@@ -1,0 +1,159 @@
+"""MetricRegistry: instruments, hierarchy, snapshots, merging."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.telemetry.registry import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    NULL_SERIES,
+    MetricRegistry,
+    NullRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricRegistry()
+        c = reg.counter("dram.ch0.row_hits")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_same_name_same_instrument(self):
+        reg = MetricRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_name_type_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_gauge_last_write_wins(self):
+        g = MetricRegistry().gauge("cpu.ipc")
+        g.set(1.5)
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_histogram_log_bins(self):
+        h = MetricRegistry().histogram("cpu.t0.rob_occupancy")
+        for v in (0, 1, 2, 3, 4, 7, 8):
+            h.observe(v)
+        # bin = bit_length: 0 -> 0, 1 -> 1, 2-3 -> 2, 4-7 -> 3, 8-15 -> 4
+        assert h.bins == {0: 1, 1: 1, 2: 2, 3: 2, 4: 1}
+        assert h.count == 7
+        assert h.mean == pytest.approx(25 / 7)
+
+    def test_histogram_rejects_negative(self):
+        h = MetricRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            h.observe(-1)
+
+    def test_series_records_in_order(self):
+        s = MetricRegistry().series("cpu.t0.committed")
+        s.record(100, 42)
+        s.record(200, 84)
+        assert s.samples == [(100, 42), (200, 84)]
+
+
+class TestHierarchy:
+    def test_names_filters_by_dotted_prefix(self):
+        reg = MetricRegistry()
+        reg.counter("dram.ch0.row_hits")
+        reg.counter("dram.ch1.row_hits")
+        reg.counter("cpu.cycles")
+        assert reg.names("dram") == [
+            "dram.ch0.row_hits", "dram.ch1.row_hits",
+        ]
+        assert reg.names("dram.ch0") == ["dram.ch0.row_hits"]
+        # a prefix is a dotted component, not a string prefix
+        assert reg.names("dram.ch") == []
+        assert len(reg) == 3
+
+    def test_bulk_helpers(self):
+        reg = MetricRegistry()
+        reg.add_counters("cpu.stall", {"icache": 3, "iq": 5})
+        reg.add_counters("cpu.stall", {"icache": 2})
+        reg.set_gauges("cache", {"l1d_hit_rate": 0.9})
+        snap = reg.snapshot()
+        assert snap["counters"]["cpu.stall.icache"] == 5
+        assert snap["counters"]["cpu.stall.iq"] == 5
+        assert snap["gauges"]["cache.l1d_hit_rate"] == 0.9
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_and_picklable(self):
+        reg = MetricRegistry()
+        reg.counter("c").add(3)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(5)
+        reg.series("s").record(1, 2)
+        snap = reg.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        assert snap["histograms"]["h"] == {
+            "bins": {3: 1}, "count": 1, "total": 5,
+        }
+        assert snap["series"]["s"] == [(1, 2)]
+
+    def test_snapshot_keys_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert list(reg.snapshot()["counters"]) == ["a", "z"]
+
+    def test_merge_sums_counters_and_histograms(self):
+        a = MetricRegistry()
+        a.counter("c").add(2)
+        a.histogram("h").observe(4)
+        a.gauge("g").set(1.0)
+        b = MetricRegistry()
+        b.counter("c").add(3)
+        b.histogram("h").observe(4)
+        b.gauge("g").set(2.0)
+        b.series("s").record(0, 1)
+        merged = MetricRegistry.merge([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["c"] == 5
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["bins"] == {3: 2}
+        assert merged["gauges"]["g"] == 2.0  # last write wins
+        assert merged["series"]["s"] == [(0, 1)]
+
+    def test_merge_ignores_empty_snapshots(self):
+        reg = MetricRegistry()
+        reg.counter("c").add(1)
+        merged = MetricRegistry.merge([{}, reg.snapshot(), {}])
+        assert merged["counters"] == {"c": 1}
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert MetricRegistry().enabled
+        assert not NULL_REGISTRY.enabled
+
+    def test_hands_out_shared_noops(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is NULL_COUNTER
+        assert reg.gauge("b") is NULL_GAUGE
+        assert reg.histogram("c") is NULL_HISTOGRAM
+        assert reg.series("d") is NULL_SERIES
+
+    def test_noops_store_nothing(self):
+        reg = NullRegistry()
+        reg.counter("a").add(10)
+        reg.gauge("b").set(1.0)
+        reg.histogram("c").observe(5)
+        reg.series("d").record(0, 1)
+        reg.add_counters("p", {"x": 1})
+        reg.set_gauges("p", {"y": 2.0})
+        assert len(reg) == 0
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["series"] == {}

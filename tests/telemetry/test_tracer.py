@@ -1,0 +1,107 @@
+"""EventTracer: ring buffer, exports, and trace-event schema validity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.tracer import (
+    EventTracer,
+    load_jsonl,
+    validate_chrome_trace,
+)
+
+
+class TestRingBuffer:
+    def test_records_in_emission_order(self):
+        t = EventTracer()
+        t.emit(10, "a", "cat")
+        t.emit(20, "b", "cat", tid=1, dur=5, args={"k": 1})
+        events = t.events()
+        assert [e.name for e in events] == ["a", "b"]
+        assert events[1].dur == 5 and events[1].args == {"k": 1}
+
+    def test_capacity_drops_oldest(self):
+        t = EventTracer(capacity=3)
+        for i in range(5):
+            t.emit(i, f"e{i}", "c")
+        assert t.emitted == 5
+        assert t.dropped == 2
+        assert [e.name for e in t.events()] == ["e2", "e3", "e4"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_events_filter_by_category(self):
+        t = EventTracer()
+        t.emit(0, "a", "dram.cmd")
+        t.emit(1, "b", "cpu.fetch")
+        assert [e.name for e in t.events("dram.cmd")] == ["a"]
+
+    def test_clear(self):
+        t = EventTracer()
+        t.emit(0, "a", "c")
+        t.clear()
+        assert len(t) == 0 and t.emitted == 0
+
+
+class TestChromeExport:
+    def _tracer(self) -> EventTracer:
+        t = EventTracer()
+        t.emit(100, "dram.ACT", "dram.cmd", tid=0, dur=3,
+               args={"bank": 1, "reason": "row-miss,read"})
+        t.emit(105, "fetch.gate", "cpu.fetch", tid=1,
+               args={"policy": "dwarn", "reason": "iq-pressure"})
+        return t
+
+    def test_document_shape(self):
+        doc = self._tracer().chrome_trace(pid=7)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        span, instant = doc["traceEvents"]
+        assert span["ph"] == "X" and span["dur"] == 3 and span["pid"] == 7
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert doc["otherData"]["dropped"] == 0
+
+    def test_validates_against_schema(self):
+        assert validate_chrome_trace(self._tracer().chrome_trace()) == []
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._tracer().write_chrome(path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert validate_chrome_trace(doc) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        bad_phase = {"traceEvents": [
+            {"name": "a", "cat": "c", "ph": "B", "ts": 0, "pid": 0, "tid": 0}
+        ]}
+        assert any("phase" in e for e in validate_chrome_trace(bad_phase))
+        no_dur = {"traceEvents": [
+            {"name": "a", "cat": "c", "ph": "X", "ts": 0, "pid": 0, "tid": 0}
+        ]}
+        assert any("dur" in e for e in validate_chrome_trace(no_dur))
+        bad_scope = {"traceEvents": [
+            {"name": "a", "cat": "c", "ph": "i", "ts": 0, "pid": 0,
+             "tid": 0, "s": "x"}
+        ]}
+        assert any("scope" in e for e in validate_chrome_trace(bad_scope))
+
+
+class TestJsonlExport:
+    def test_round_trip(self, tmp_path):
+        t = EventTracer()
+        t.emit(1, "a", "c", tid=2, dur=4, args={"x": 1})
+        t.emit(2, "b", "c")
+        path = tmp_path / "trace.jsonl"
+        t.write_jsonl(path)
+        records = load_jsonl(path)
+        assert records == [
+            {"ts": 1, "name": "a", "cat": "c", "tid": 2, "dur": 4,
+             "args": {"x": 1}},
+            {"ts": 2, "name": "b", "cat": "c", "tid": 0},
+        ]

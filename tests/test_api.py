@@ -31,6 +31,7 @@ class TestSubpackageExports:
         )
         assert MemorySystem and DRAMGeometry
         assert make_scheduler("hit-first").name == "hit-first"
+        assert callable(make_mapping)
 
     def test_cache(self):
         from repro.cache import MemoryHierarchy, MSHRFile, SetAssocCache, TLB
