@@ -1,0 +1,57 @@
+"""Correctness tooling for the simulator: static + runtime checking.
+
+Two complementary layers guard the property every cached result and
+published figure depends on — that a given configuration always
+reproduces the same run, and that the run obeyed the DRAM protocol:
+
+* :mod:`repro.analysis.linter` — an AST-based **determinism linter**
+  (``repro lint``) that flags nondeterminism hazards before they enter
+  the tree: raw :mod:`random` use, wall-clock reads in simulation
+  code, iteration over unordered containers feeding ordering-sensitive
+  logic, module-level mutable state, heap pushes without deterministic
+  tiebreakers, unsorted directory listings, float accumulation over
+  sets, and ``id()``-derived keys.  Findings are suppressed per line
+  with ``# repro: allow(DETxxx)`` pragmas.
+
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime **SimSanitizer**
+  that wraps the event queue and both DRAM controller models during a
+  run and checks protocol / accounting invariants (tRCD/tRP/tRAS/tRRD
+  command ordering, data-bus burst overlap, MSHR allocate/release
+  balance, ROB capacity, monotonic event time).  Enable with the
+  ``--sanitize`` CLI flag, ``REPRO_SANITIZE=1``, or the ``sanitizer``
+  pytest fixture; observation never perturbs the simulation, so a
+  sanitized run is bit-identical to a plain one.
+
+See ``docs/static-analysis.md`` for the rule catalog and invariant
+reference.
+"""
+
+from repro.analysis.linter import (
+    Finding,
+    LintReport,
+    Rule,
+    Severity,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.sanitizer import (
+    SanitizerError,
+    SimSanitizer,
+    Violation,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "SanitizerError",
+    "SimSanitizer",
+    "Violation",
+]

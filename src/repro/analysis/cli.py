@@ -1,0 +1,101 @@
+"""``repro lint`` — the determinism linter's command-line front end.
+
+Registered as a subcommand of the main experiment CLI
+(``python -m repro lint src/``).  Exit codes follow the usual linter
+convention so CI can gate on them:
+
+* ``0`` — no unsuppressed findings,
+* ``1`` — at least one finding,
+* ``2`` — operational failure (missing path, unparseable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO, Sequence
+
+from repro.analysis.linter import LintReport, all_rules, lint_paths
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directory trees to lint",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (json is machine-readable, one document)",
+    )
+    parser.add_argument(
+        "--select", nargs="+", default=None, metavar="CODE",
+        help="only run these rule codes (e.g. DET001 DET004)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _print_rules(out: IO[str]) -> None:
+    for rule in all_rules():
+        out.write(f"{rule.code} [{rule.severity.value}] {rule.summary}\n")
+
+
+def _render_human(report: LintReport, out: IO[str]) -> None:
+    for finding in report.findings:
+        out.write(finding.render() + "\n")
+    for error in report.errors:
+        out.write(f"error: {error}\n")
+    noun = "file" if report.files_checked == 1 else "files"
+    out.write(
+        f"{len(report.findings)} finding(s), {len(report.errors)} error(s) "
+        f"in {report.files_checked} {noun}\n"
+    )
+
+
+def run_lint(
+    args: argparse.Namespace, out: IO[str] | None = None
+) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    stream: IO[str] = out if out is not None else sys.stdout
+    if args.list_rules:
+        _print_rules(stream)
+        return 0
+    if not args.paths:
+        stream.write("error: no paths given (try 'repro lint src/')\n")
+        return 2
+    rules = all_rules()
+    if args.select:
+        wanted = set(args.select)
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            stream.write(
+                f"error: unknown rule code(s): {', '.join(sorted(unknown))}\n"
+            )
+            return 2
+        rules = [rule for rule in rules if rule.code in wanted]
+    report = lint_paths(args.paths, rules)
+    if args.format == "json":
+        json.dump(report.to_dict(), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    else:
+        _render_human(report, stream)
+    if report.errors:
+        return 2
+    return 1 if report.findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description="determinism linter for repro"
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""AST-based determinism linter: framework and driver.
+
+The linter exists because the experiment engine caches and memoizes
+simulation results under the assumption that a run is a pure function
+of its configuration.  Any nondeterminism — a raw :mod:`random` call,
+a wall-clock read, iteration order leaking from a ``set`` into a
+scheduling decision — silently breaks that contract and poisons every
+cached figure downstream.
+
+The framework is flake8-plugin shaped: each check is a :class:`Rule`
+subclass registered with :func:`register`, declaring which AST node
+types it wants to see.  One walk of each file's tree dispatches nodes
+to the interested rules; rules report :class:`Finding` objects through
+the shared :class:`FileContext`.
+
+Suppression: a finding on line *N* is suppressed when line *N* carries
+a ``# repro: allow(DETxxx)`` pragma naming its code.  Pragmas should
+carry a trailing justification, e.g.::
+
+    created = time.time()  # repro: allow(DET002) wall-clock provenance
+
+Rules live in :mod:`repro.analysis.rules`; see
+``docs/static-analysis.md`` for the catalog and how to add one.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are near-certain reproducibility hazards;
+    ``WARNING`` findings are heuristic (the pattern is dangerous in
+    ordering-sensitive positions, which the AST alone cannot always
+    prove).  Both fail ``repro lint`` unless suppressed.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter hit, pinned to a file location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """Human-readable one-liner (``path:line:col: CODE message``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"[{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly representation (``repro lint --format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+
+#: ``# repro: allow(DET001)`` or ``# repro: allow(DET001, DET006) why...``
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\s*\)"
+)
+
+
+def pragmas_for_source(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule codes allowed on that line."""
+    allowed: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is not None:
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(",")
+            )
+            allowed[lineno] = codes
+    return allowed
+
+
+class FileContext:
+    """Per-file state shared by every rule during one walk.
+
+    Provides the parse tree, parent links (``parent``), and the
+    ``report`` sink rules append findings to.
+    """
+
+    def __init__(self, path: str, tree: ast.Module, source: str) -> None:
+        self.path = path
+        self.tree = tree
+        self.source = source
+        self.findings: list[Finding] = []
+        # Parent links are attached to the nodes themselves; an AST is
+        # private to this walk, so decorating it is safe and avoids
+        # keying a side table by object identity.
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                setattr(child, "_repro_parent", parent)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (None for the module)."""
+        parent = getattr(node, "_repro_parent", None)
+        return parent if isinstance(parent, ast.AST) else None
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Resolve a Name/Attribute chain to ``"a.b.c"`` (else None)."""
+        parts: list[str] = []
+        current: ast.AST = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def report(self, rule: "Rule", node: ast.AST, message: str | None = None) -> None:
+        """Record a finding for ``rule`` at ``node``'s location."""
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=rule.code,
+                message=message if message is not None else rule.summary,
+                severity=rule.severity,
+            )
+        )
+
+
+class Rule:
+    """Base class for determinism checks.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    which is called once for every node whose type appears in
+    ``node_types``.  Register concrete rules with :func:`register` so
+    the driver and the CLI can find them.
+    """
+
+    #: Unique rule identifier, e.g. ``"DET001"``.
+    code: str = ""
+    #: One-line description used as the default finding message.
+    summary: str = ""
+    severity: Severity = Severity.WARNING
+    #: AST node types this rule wants to inspect.
+    node_types: tuple[type, ...] = ()
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        raise NotImplementedError
+
+
+_REGISTRY: list[type[Rule]] = []
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.code or not rule_cls.node_types:
+        raise ValueError(
+            f"rule {rule_cls.__name__} must define code and node_types"
+        )
+    if any(existing.code == rule_cls.code for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY.append(rule_cls)
+    return rule_cls
+
+
+def all_rules() -> list[type[Rule]]:
+    """Every registered rule class, sorted by code."""
+    # The import populates the registry on first use; rules live in a
+    # separate module so the framework stays dependency-free.
+    import repro.analysis.rules  # noqa: F401
+
+    return sorted(_REGISTRY, key=lambda rule: rule.code)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[type[Rule]] | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns unsuppressed findings, sorted.
+
+    Raises :class:`SyntaxError` if the source does not parse — the
+    caller (see :func:`lint_paths`) decides how to surface that.
+    """
+    tree = ast.parse(source, filename=path)
+    rule_classes = list(rules) if rules is not None else all_rules()
+    instances = [rule_cls() for rule_cls in rule_classes]
+    dispatch: dict[type, list[Rule]] = {}
+    for instance in instances:
+        for node_type in instance.node_types:
+            dispatch.setdefault(node_type, []).append(instance)
+    ctx = FileContext(path, tree, source)
+    for node in ast.walk(tree):
+        for instance in dispatch.get(type(node), ()):
+            instance.check(node, ctx)
+    allowed = pragmas_for_source(source)
+    kept = [
+        finding
+        for finding in ctx.findings
+        if finding.code not in allowed.get(finding.line, frozenset())
+    ]
+    return sorted(kept, key=lambda finding: finding.sort_key)
+
+
+def lint_file(
+    path: str | Path, rules: Sequence[type[Rule]] | None = None
+) -> list[Finding]:
+    """Lint one file on disk (see :func:`lint_source`)."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(source, str(file_path), rules)
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting a set of paths."""
+
+    findings: list[Finding]
+    #: Files that could not be linted ("path: reason") — unreadable or
+    #: syntactically invalid.  Any entry makes the run a hard failure.
+    errors: list[str]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "errors": list(self.errors),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def _python_files(paths: Iterable[str | Path]) -> tuple[list[Path], list[str]]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    errors: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            errors.append(f"{path}: no such file or directory")
+    return files, errors
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[type[Rule]] | None = None,
+) -> LintReport:
+    """Lint files and/or directory trees; the CLI's workhorse."""
+    files, errors = _python_files(paths)
+    findings: list[Finding] = []
+    for file_path in files:
+        try:
+            findings.extend(lint_file(file_path, rules))
+        except SyntaxError as exc:
+            errors.append(f"{file_path}: {exc.msg} (line {exc.lineno})")
+        except OSError as exc:
+            errors.append(f"{file_path}: {exc.strerror or exc}")
+    return LintReport(
+        findings=sorted(findings, key=lambda finding: finding.sort_key),
+        errors=errors,
+        files_checked=len(files),
+    )

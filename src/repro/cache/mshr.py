@@ -40,6 +40,11 @@ class MSHRFile:
     zero-argument now-callable) turn every allocate / merge / reject
     into a structured trace event; both default to off and cost one
     ``None`` check per registration when disabled.
+
+    ``register`` and ``complete`` are the accounting boundary the
+    simulation sanitizer audits (allocate/release balance, occupancy
+    vs. capacity, empty-at-drain leak detection); see
+    :meth:`repro.analysis.sanitizer.SimSanitizer._watch_mshr`.
     """
 
     def __init__(self, entries: int = 16, tracer=None, clock=None) -> None:

@@ -4,6 +4,15 @@ The SMT core advances a cycle counter; everything below the core (cache
 miss handling, DRAM command timing, response delivery) is scheduled on
 this queue.  Events at the same timestamp fire in FIFO scheduling
 order, which keeps simulations deterministic.
+
+The FIFO tie-break is a load-bearing contract: heap entries carry a
+monotonic sequence number (``(time, seq, fn, args)``) so equal
+timestamps never fall through to comparing callables, and same-cycle
+work fires in exactly the order it was scheduled.  The contract is
+pinned by ``tests/common/test_events.py`` (same-cycle ordering
+regression suite) and checked at runtime by
+:class:`repro.analysis.sanitizer.SanitizedEventQueue`, which asserts
+fire-time monotonicity on every pop.
 """
 
 from __future__ import annotations

@@ -56,13 +56,8 @@ class MemAccessType(enum.IntEnum):
 #: completion time in CPU cycles and the request itself.
 MemCallback = Callable[[int, "MemRequest"], None]
 
-_REQUEST_SEQ = 0
-
-
-def _next_request_id() -> int:
-    global _REQUEST_SEQ
-    _REQUEST_SEQ += 1
-    return _REQUEST_SEQ
+#: ``req_id`` value of a request not yet admitted to a memory system.
+UNASSIGNED_REQUEST_ID = 0
 
 
 class MemRequest:
@@ -74,6 +69,15 @@ class MemRequest:
     The paper notes this information is piggybacked with the request
     and may be slightly stale by the time the controller uses it; a
     snapshot models exactly that staleness.
+
+    ``req_id`` is the scheduler tie-breaker and trace key.  It is
+    *per-simulation*: requests are constructed with
+    :data:`UNASSIGNED_REQUEST_ID` and numbered 1, 2, 3, ... by the
+    owning :class:`~repro.dram.system.MemorySystem` when submitted, so
+    traces and manifests are identical whether a run is the first or
+    the hundredth in its process.  (A process-global counter here once
+    made memoized re-runs differ from fresh ones.)  Pass ``req_id``
+    explicitly when driving a controller without a memory system.
     """
 
     __slots__ = (
@@ -102,12 +106,13 @@ class MemRequest:
         rob_occupancy: int = 0,
         iq_occupancy: int = 0,
         callback: Optional[MemCallback] = None,
+        req_id: int = UNASSIGNED_REQUEST_ID,
     ) -> None:
         if line_addr < 0:
             raise ValueError(f"line_addr must be non-negative, got {line_addr}")
         if arrival < 0:
             raise ValueError(f"arrival must be non-negative, got {arrival}")
-        self.req_id = _next_request_id()
+        self.req_id = req_id
         self.line_addr = line_addr
         self.access = access
         self.thread_id = thread_id

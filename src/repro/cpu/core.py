@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.common.calendar import SlotCalendar
 from repro.common.errors import ConfigError, SimulationError
 from repro.common.events import EventQueue
+from repro.common.rng import DeterministicRng
 from repro.common.types import OpClass
 from repro.cache.hierarchy import PENDING, RETRY, MemoryHierarchy
 from repro.cpu.branch import BranchTargetBuffer, HybridPredictor
@@ -122,9 +123,13 @@ class SMTCore:
             fetch_policy = make_fetch_policy(fetch_policy)
         self.fetch_policy = fetch_policy
         if icache_rngs is None:
-            import random
-
-            icache_rngs = [random.Random(97 + i) for i in range(len(workloads))]
+            # Same Mersenne-Twister seeds the old raw-random default
+            # used, so standalone cores reproduce historical runs;
+            # build_system always passes seed-derived children instead.
+            icache_rngs = [
+                DeterministicRng(97 + i, tag=f"icache:default:{i}")
+                for i in range(len(workloads))
+            ]
         self.threads = [
             ThreadContext(i, name, stream, params.rob_size, icache_rngs[i])
             for i, (name, stream) in enumerate(workloads)

@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from repro.common.errors import ConfigError
 from repro.common.events import EventQueue
-from repro.common.types import MemAccessType, MemRequest
+from repro.common.types import (
+    UNASSIGNED_REQUEST_ID,
+    MemAccessType,
+    MemRequest,
+)
 from repro.dram.bank import PageMode
 from repro.dram.command_controller import CommandChannelController
 from repro.dram.controller import ChannelController
@@ -100,6 +104,9 @@ class MemorySystem:
         ]
         self._outstanding_total = 0
         self._outstanding_by_thread: dict[int, int] = {}
+        #: Per-simulation request-ID counter (see MemRequest.req_id):
+        #: owned here so run N in a process is bit-identical to run 1.
+        self._req_seq = 0
 
     # ------------------------------------------------------------------
     # factories for the paper's two systems
@@ -158,6 +165,9 @@ class MemorySystem:
     def submit(self, request: MemRequest) -> None:
         """Accept a request at ``request.arrival`` (current event time)."""
         now = self.event_queue.now
+        if request.req_id == UNASSIGNED_REQUEST_ID:
+            self._req_seq += 1
+            request.req_id = self._req_seq
         mapped = self.mapping.map_line(request.line_addr)
         request.channel, request.bank, request.row = mapped
         self._outstanding_total += 1

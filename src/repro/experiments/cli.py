@@ -21,6 +21,8 @@ import argparse
 import sys
 import time
 
+from repro.analysis.cli import add_lint_arguments, run_lint
+from repro.analysis.sanitizer import SimSanitizer
 from repro.experiments.ablations import ABLATIONS
 from repro.experiments.config import SystemConfig
 from repro.experiments.figures import EXPERIMENTS, run_experiment
@@ -75,6 +77,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sanitize_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="check protocol/accounting invariants throughout every "
+        "simulation (observe-only: results are bit-identical; fails "
+        "on any violation)",
+    )
+
+
 def _add_manifest_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--manifest-dir", default=None, metavar="PATH",
@@ -94,15 +105,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="persist simulation results under PATH and reuse them on "
         "later invocations (off by default)",
     )
+    _add_sanitize_argument(parser)
     _add_manifest_argument(parser)
 
 
 def _make_runner(args: argparse.Namespace) -> Runner:
     jobs = getattr(args, "jobs", 1) or 1
     cache_dir = getattr(args, "cache_dir", None)
+    sanitize = getattr(args, "sanitize", False)
     if jobs > 1 or cache_dir:
-        return ParallelRunner(jobs=jobs, cache_dir=cache_dir)
-    return Runner()
+        return ParallelRunner(
+            jobs=jobs, cache_dir=cache_dir, sanitize=sanitize
+        )
+    return Runner(sanitize=sanitize)
 
 
 def _config_from_args(args: argparse.Namespace) -> SystemConfig:
@@ -160,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("mix", help="run one workload mix and print statistics")
     p.add_argument("mix_name", choices=all_mix_names())
     _add_config_arguments(p)
+    _add_sanitize_argument(p)
     _add_manifest_argument(p)
     p.add_argument(
         "--telemetry", action="store_true",
@@ -184,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("mix_name", choices=all_mix_names())
     _add_config_arguments(p)
+    _add_sanitize_argument(p)
     _add_manifest_argument(p)
     p.add_argument(
         "--trace-out", default="trace.json", metavar="PATH",
@@ -219,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the ablation studies",
     )
 
+    p = sub.add_parser(
+        "lint",
+        help="run the determinism linter (see repro.analysis)",
+    )
+    add_lint_arguments(p)
+
     sub.add_parser("list", help="list experiments and workload mixes")
     return parser
 
@@ -250,11 +273,31 @@ def _print_single_run_manifest(
     print(f"[manifest: {manifest.write(directory)}]")
 
 
+def _maybe_sanitized_run(
+    config: SystemConfig,
+    apps: tuple[str, ...],
+    telemetry: Telemetry | None,
+    args: argparse.Namespace,
+):
+    """Run one mix, under a sanitizer when ``--sanitize`` was given.
+
+    Returns ``(result, sanitizer)``; the sanitizer is ``None`` for
+    plain runs.
+    """
+    if not getattr(args, "sanitize", False):
+        return run_mix(config, apps, telemetry=telemetry), None
+    sanitizer = SimSanitizer(
+        tracer=telemetry.tracer if telemetry is not None else None
+    )
+    result = run_mix(config, apps, telemetry=telemetry, sanitizer=sanitizer)
+    return result, sanitizer
+
+
 def _run_figures(names: list[str], args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     runner = _make_runner(args)
     for name in names:
-        start = time.time()
+        start = time.perf_counter()
         kwargs = {"config": config, "runner": runner}
         if getattr(args, "mixes", None) and name != "fig1":
             kwargs["mixes"] = args.mixes
@@ -267,7 +310,7 @@ def _run_figures(names: list[str], args: argparse.Namespace) -> int:
         if csv_path:
             result.save_csv(csv_path)
             print(f"[rows written to {csv_path}]")
-        print(f"[{name} completed in {time.time() - start:.1f}s]")
+        print(f"[{name} completed in {time.perf_counter() - start:.1f}s]")
         print()
     _print_runner_manifest(runner, args)
     return 0
@@ -275,6 +318,8 @@ def _run_figures(names: list[str], args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return run_lint(args)
     if args.command == "list":
         print("experiments:")
         for name, fn in EXPERIMENTS.items():
@@ -293,9 +338,11 @@ def main(argv: list[str] | None = None) -> int:
         apps = MIXES[args.mix_name].apps
         tracer = EventTracer(capacity=args.trace_capacity)
         telemetry = Telemetry(tracer=tracer)
-        start = time.time()
-        result = run_mix(config, apps, telemetry=telemetry)
-        wall = time.time() - start
+        start = time.perf_counter()
+        result, sanitizer = _maybe_sanitized_run(
+            config, apps, telemetry, args
+        )
+        wall = time.perf_counter() - start
         if args.trace_format == "chrome":
             tracer.write_chrome(args.trace_out)
         else:
@@ -307,6 +354,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"[trace written to {args.trace_out} ({args.trace_format})]")
         _print_single_run_manifest(config, apps, telemetry, wall, args)
+        if sanitizer is not None:
+            print(sanitizer.report())
+            if not sanitizer.ok:
+                return 1
         return 0
     if args.command == "mix":
         config = _config_from_args(args)
@@ -318,9 +369,11 @@ def main(argv: list[str] | None = None) -> int:
         telemetry = None
         if args.telemetry or tracer is not None:
             telemetry = Telemetry(tracer=tracer)
-        start = time.time()
-        result = run_mix(config, apps, telemetry=telemetry)
-        wall = time.time() - start
+        start = time.perf_counter()
+        result, sanitizer = _maybe_sanitized_run(
+            config, apps, telemetry, args
+        )
+        wall = time.perf_counter() - start
         print(result.core)
         if result.dram is not None:
             stats = result.dram
@@ -366,6 +419,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"[trace written to {args.trace_out} ({args.trace_format})]"
             )
         _print_single_run_manifest(config, apps, telemetry, wall, args)
+        if sanitizer is not None:
+            print(sanitizer.report())
+            if not sanitizer.ok:
+                return 1
         return 0
     if args.command == "all":
         return _run_figures(list(EXPERIMENTS), args)

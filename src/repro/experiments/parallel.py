@@ -114,10 +114,11 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.cache_dir.glob("*.pkl"))
+        # Counting only -- entry order cannot influence the result.
+        return sum(1 for _ in self.cache_dir.glob("*.pkl"))  # repro: allow(DET006) count only
 
     def clear(self) -> None:
-        for entry in self.cache_dir.glob("*.pkl"):
+        for entry in sorted(self.cache_dir.glob("*.pkl")):
             try:
                 entry.unlink()
             except OSError:
@@ -208,6 +209,7 @@ class ParallelRunner(Runner):
         baseline_multiplier: int = 3,
         cache: ResultCache | None = None,
         collect_metrics: bool = False,
+        sanitize: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -217,10 +219,18 @@ class ParallelRunner(Runner):
             baseline_multiplier=baseline_multiplier,
             cache=cache,
             collect_metrics=collect_metrics,
+            sanitize=sanitize,
         )
         self.jobs = jobs
 
     def run_many(self, jobs: Sequence) -> list[MixResult]:
+        if self.sanitize:
+            # Sanitized runs go through the serial path so each gets
+            # its own in-process sanitizer that raises on violations
+            # (workers started before a programmatic sanitize request
+            # would not inherit it).  Sanitized output is bit-identical
+            # to the pooled path, just slower.
+            return Runner.run_many(self, jobs)
         normalized = [(config, tuple(apps)) for config, apps in jobs]
         already = set(self._results)
         start = time.perf_counter()

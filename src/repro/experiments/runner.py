@@ -10,11 +10,14 @@ every figure reuses them across many multiprogrammed runs.
 
 from __future__ import annotations
 
+import copy
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.sanitizer import SimSanitizer
 from repro.common.events import EventQueue
 from repro.common.rng import child_rng
 from repro.cache.hierarchy import HierarchySnapshot, MemoryHierarchy
@@ -73,10 +76,23 @@ class MixResult:
 
 
 def build_system(
-    config: SystemConfig, apps: Sequence[str], telemetry: Telemetry | None = None
+    config: SystemConfig,
+    apps: Sequence[str],
+    telemetry: Telemetry | None = None,
+    sanitizer: SimSanitizer | None = None,
 ) -> tuple[SMTCore, MemorySystem | None, MemoryHierarchy]:
-    """Construct (but do not run) a full system for the given apps."""
-    event_queue = EventQueue()
+    """Construct (but do not run) a full system for the given apps.
+
+    When a :class:`~repro.analysis.sanitizer.SimSanitizer` is given,
+    the system is built on its checking event queue and every
+    component is wrapped with invariant checks; the wrapping is
+    observe-only, so the run stays bit-identical to a plain one.
+    """
+    event_queue: EventQueue
+    if sanitizer is not None:
+        event_queue = sanitizer.make_event_queue()
+    else:
+        event_queue = EventQueue()
     if config.perfect_l3:
         memory = None
     elif config.dram_type == "ddr":
@@ -137,22 +153,52 @@ def build_system(
         telemetry=telemetry,
     )
     prewarm(hierarchy, [stream.footprint() for _, stream in workloads])
+    if sanitizer is not None:
+        sanitizer.attach(core=core, memory=memory, hierarchy=hierarchy)
     return core, memory, hierarchy
+
+
+def sanitize_requested() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for sanitized runs."""
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
 
 
 def run_mix(
     config: SystemConfig,
     apps: Sequence[str],
     telemetry: Telemetry | None = None,
+    sanitizer: SimSanitizer | None = None,
 ) -> MixResult:
-    """Build and run one multiprogrammed mix to completion."""
-    core, memory, hierarchy = build_system(config, apps, telemetry)
+    """Build and run one multiprogrammed mix to completion.
+
+    Pass a :class:`~repro.analysis.sanitizer.SimSanitizer` to check
+    protocol/accounting invariants throughout the run (violations
+    collect on the sanitizer; inspect or raise as the caller sees
+    fit).  Setting ``REPRO_SANITIZE=1`` in the environment sanitizes
+    every run with an internally owned sanitizer that *raises*
+    :class:`~repro.analysis.sanitizer.SanitizerError` on violations.
+    """
+    owned_sanitizer = sanitizer is None and sanitize_requested()
+    if owned_sanitizer:
+        sanitizer = SimSanitizer(
+            tracer=telemetry.tracer if telemetry is not None else None
+        )
+    core, memory, hierarchy = build_system(
+        config, apps, telemetry, sanitizer=sanitizer
+    )
     result = core.run(
         config.instructions_per_thread,
         warmup_instructions=config.warmup_instructions,
         max_cycles=config.max_cycles,
     )
     dram_stats = memory.finish() if memory is not None else None
+    if sanitizer is not None and dram_stats is not None:
+        # The end-of-run drain (below) fires leftover events into the
+        # live stats object; snapshot it first so sanitized results
+        # stay bit-identical to plain ones.
+        dram_stats = copy.deepcopy(dram_stats)
     snapshot = hierarchy.snapshot()
     metrics = None
     if telemetry is not None and telemetry.registry.enabled:
@@ -182,6 +228,10 @@ def run_mix(
                 "dram", {"row_miss_rate": dram_stats.row_miss_rate}
             )
         metrics = registry.snapshot()
+    if sanitizer is not None:
+        sanitizer.finish()
+        if owned_sanitizer:
+            sanitizer.raise_if_violations()
     return MixResult(
         config=config,
         apps=tuple(apps),
@@ -220,6 +270,7 @@ class Runner:
         baseline_multiplier: int = 3,
         cache=None,
         collect_metrics: bool = False,
+        sanitize: bool = False,
     ) -> None:
         if baseline_multiplier < 1:
             raise ValueError("baseline_multiplier must be >= 1")
@@ -230,6 +281,10 @@ class Runner:
         #: and their snapshots land on ``MixResult.metrics`` and in the
         #: manifest.
         self.collect_metrics = collect_metrics
+        #: When set (or REPRO_SANITIZE=1), every fresh simulation runs
+        #: under a :class:`~repro.analysis.sanitizer.SimSanitizer` and
+        #: raises SanitizerError if any invariant was violated.
+        self.sanitize = sanitize or sanitize_requested()
         self._results: dict[tuple, MixResult] = {}
         #: Provenance of every distinct run served, keyed by run id
         #: (first source wins -- a later memo hit does not demote a
@@ -258,10 +313,17 @@ class Runner:
                 self._record(config, apps, "disk-cache")
         if result is None:
             start = time.perf_counter()
-            if self.collect_metrics:
-                result = run_mix(config, apps, telemetry=Telemetry())
+            telemetry = Telemetry() if self.collect_metrics else None
+            if self.sanitize:
+                sanitizer = SimSanitizer(
+                    tracer=telemetry.tracer if telemetry is not None else None
+                )
+                result = run_mix(
+                    config, apps, telemetry=telemetry, sanitizer=sanitizer
+                )
+                sanitizer.raise_if_violations()
             else:
-                result = run_mix(config, apps)
+                result = run_mix(config, apps, telemetry=telemetry)
             self._record(
                 config, apps, "simulated", time.perf_counter() - start
             )

@@ -25,10 +25,13 @@ frame is never handed out twice.
 
 from __future__ import annotations
 
-import random
+# Typing only: VirtualMemory accepts any random.Random-compatible
+# source; live systems inject seed-derived DeterministicRng children.
+import random  # repro: allow(DET001) typing only; instances are injected
 from typing import Dict, Tuple
 
 from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
 
 _POLICIES = ("bin-hopping", "page-coloring", "random")
 
@@ -81,7 +84,9 @@ class VirtualMemory:
         self.page_bytes = page_bytes
         self.colors = colors
         self.num_threads = num_threads
-        self._rng = rng or random.Random(12345)
+        # Fixed-seed default keeps standalone construction reproducible
+        # (and matches the old raw-random default's stream).
+        self._rng = rng or DeterministicRng(12345, tag="vm:default")
         self._page_table: Dict[Tuple[int, int], int] = {}
         self._next_frame = 0
         # page-coloring: per-color sequential counters plus each

@@ -15,7 +15,9 @@ makes mcf latency-bound rather than bandwidth-bound.
 
 from __future__ import annotations
 
-import random
+# Typing only: streams draw from an injected seed-derived RNG (see
+# repro.common.rng.child_rng); no module-level randomness exists here.
+import random  # repro: allow(DET001) typing only; RNGs are injected
 from typing import Iterator
 
 from repro.common.errors import ConfigError

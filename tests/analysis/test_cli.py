@@ -1,0 +1,98 @@
+"""Tests for the ``repro lint`` command-line front end."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.experiments.cli import main as repro_main
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("def f(xs):\n    return sorted(xs)\n")
+    return path
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text("import random\nimport time\nt = time.time()\n")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, clean_file):
+        assert lint_main([str(clean_file)]) == 0
+
+    def test_findings_exit_one(self, dirty_file):
+        assert lint_main([str(dirty_file)]) == 1
+
+    def test_missing_path_exits_two(self):
+        assert lint_main(["/no/such/path.py"]) == 2
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert lint_main([str(bad)]) == 2
+
+    def test_no_paths_exits_two(self):
+        assert lint_main([]) == 2
+
+    def test_unknown_select_code_exits_two(self, clean_file):
+        assert lint_main([str(clean_file), "--select", "DET999"]) == 2
+
+
+class TestOutput:
+    def run(self, argv):
+        import argparse
+
+        from repro.analysis.cli import add_lint_arguments, run_lint
+
+        parser = argparse.ArgumentParser()
+        add_lint_arguments(parser)
+        out = io.StringIO()
+        code = run_lint(parser.parse_args(argv), out=out)
+        return code, out.getvalue()
+
+    def test_json_document(self, dirty_file):
+        code, text = self.run([str(dirty_file), "--format", "json"])
+        assert code == 1
+        doc = json.loads(text)
+        assert doc["files_checked"] == 1
+        assert doc["errors"] == []
+        found = {f["code"] for f in doc["findings"]}
+        assert found == {"DET001", "DET002"}
+        for f in doc["findings"]:
+            assert set(f) == {
+                "path", "line", "col", "code", "message", "severity",
+            }
+
+    def test_human_summary_line(self, dirty_file):
+        code, text = self.run([str(dirty_file)])
+        assert code == 1
+        assert "2 finding(s), 0 error(s) in 1 file" in text
+        assert "DET001" in text and "DET002" in text
+
+    def test_select_filters_rules(self, dirty_file):
+        code, text = self.run([str(dirty_file), "--select", "DET002"])
+        assert code == 1
+        assert "DET002" in text and "DET001" not in text
+
+    def test_list_rules(self):
+        code, text = self.run(["--list-rules"])
+        assert code == 0
+        for i in range(1, 9):
+            assert f"DET00{i}" in text
+
+
+class TestMainCliIntegration:
+    def test_lint_subcommand_registered(self, dirty_file, capsys):
+        assert repro_main(["lint", str(dirty_file)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_lint_clean_tree(self, clean_file, capsys):
+        assert repro_main(["lint", str(clean_file)]) == 0
+        capsys.readouterr()

@@ -1,0 +1,18 @@
+"""The simulator's own source tree must pass its determinism linter.
+
+This is the tree-level gate CI runs as ``repro lint src/``; keeping a
+test-suite copy means a plain ``pytest`` run catches regressions too.
+"""
+
+from pathlib import Path
+
+from repro.analysis.linter import lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_source_tree_is_lint_clean():
+    report = lint_paths([SRC])
+    assert report.files_checked > 50
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.ok, f"unsuppressed findings:\n{rendered}\n{report.errors}"

@@ -146,6 +146,67 @@ class TestNextTime:
             q.run_all(limit=100)
 
 
+class TestSameCycleOrderingRegression:
+    """Pins the same-cycle tie-break contract: insertion order, always.
+
+    Schedulers and controllers rely on FIFO ordering among events at
+    one cycle (the `_seq` heap field); these tests freeze that
+    behaviour so an event-queue refactor cannot silently reshuffle
+    same-cycle work.
+    """
+
+    def test_insertion_order_survives_interleaved_pops(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5, fired.append, "a")
+        q.schedule(5, fired.append, "b")
+        q.run_until(4)  # moves the clock without firing anything
+        q.schedule(5, fired.append, "c")
+        q.run_until(5)
+        assert fired == ["a", "b", "c"]
+
+    def test_cascaded_same_cycle_events_fire_after_queued_ones(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            # Scheduled *at the current cycle* mid-fire: runs after
+            # everything already queued for this cycle.
+            q.schedule(3, fired.append, "cascade")
+
+        q.schedule(3, first)
+        q.schedule(3, fired.append, "second")
+        q.run_until(3)
+        assert fired == ["first", "second", "cascade"]
+
+    def test_order_independent_of_callable_identity(self):
+        # Heap entries carry (time, seq, fn, args); seq must decide
+        # ties before fn ever gets compared.
+        q = EventQueue()
+        fired = []
+
+        def make(tag):
+            def fn():
+                fired.append(tag)
+            return fn
+
+        callables = [make(i) for i in (3, 1, 2, 0)]
+        for fn in callables:
+            q.schedule(9, fn)
+        q.run_until(9)
+        assert fired == [3, 1, 2, 0]
+
+    def test_run_all_preserves_same_cycle_fifo(self):
+        q = EventQueue()
+        fired = []
+        for tag in ("x", "y", "z"):
+            q.schedule(2, fired.append, tag)
+        q.schedule(1, fired.append, "w")
+        q.run_all()
+        assert fired == ["w", "x", "y", "z"]
+
+
 class TestHeavyLoad:
     def test_many_events_fire_in_order(self):
         import random

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.common.types import MemAccessType, MemRequest, OpClass
+from repro.common.types import (
+    UNASSIGNED_REQUEST_ID,
+    MemAccessType,
+    MemRequest,
+    OpClass,
+)
 
 
 class TestOpClass:
@@ -30,10 +35,16 @@ class TestMemRequest:
         r = MemRequest(0, MemAccessType.READ, 0, arrival=100)
         assert r.age(150) == 50
 
-    def test_ids_unique_and_increasing(self):
+    def test_ids_assigned_by_memory_system_not_construction(self):
+        # req_id is a per-simulation sequence owned by MemorySystem;
+        # bare construction leaves it unassigned so back-to-back runs
+        # in one process stay bit-identical to fresh-process runs.
         a = MemRequest(0, MemAccessType.READ, 0, arrival=0)
         b = MemRequest(0, MemAccessType.READ, 0, arrival=0)
-        assert b.req_id > a.req_id
+        assert a.req_id == UNASSIGNED_REQUEST_ID
+        assert b.req_id == UNASSIGNED_REQUEST_ID
+        explicit = MemRequest(0, MemAccessType.READ, 0, arrival=0, req_id=7)
+        assert explicit.req_id == 7
 
     def test_negative_address_rejected(self):
         with pytest.raises(ValueError):

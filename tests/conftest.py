@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.sanitizer import SimSanitizer
 from repro.common.events import EventQueue
 from repro.experiments.config import SystemConfig
 
@@ -16,6 +17,21 @@ from repro.experiments.config import SystemConfig
 @pytest.fixture
 def event_queue() -> EventQueue:
     return EventQueue()
+
+
+@pytest.fixture
+def sanitizer():
+    """A :class:`SimSanitizer` that fails the test on any violation.
+
+    Pass it to ``run_mix(..., sanitizer=sanitizer)`` or
+    ``build_system(..., sanitizer=sanitizer)``; teardown drains the
+    system and raises ``SanitizerError`` if any invariant was
+    violated.
+    """
+    checker = SimSanitizer()
+    yield checker
+    checker.finish()
+    checker.raise_if_violations()
 
 
 @pytest.fixture

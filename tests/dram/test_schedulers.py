@@ -1,5 +1,7 @@
 """Tests for DRAM access schedulers (Sections 3 and 5.5)."""
 
+import itertools
+
 import pytest
 
 from repro.common.errors import ConfigError
@@ -31,15 +33,23 @@ class FakeContext:
         return self._outstanding.get(thread_id, 0)
 
 
+# Explicit ids mimic MemorySystem.submit's per-simulation numbering
+# (bare construction leaves req_id unassigned).
+_req_ids = itertools.count(1)
+
+
 def read(arrival=0, tid=0, rob=0, iq=0):
     return MemRequest(
         0x100, MemAccessType.READ, tid, arrival=arrival,
-        rob_occupancy=rob, iq_occupancy=iq,
+        rob_occupancy=rob, iq_occupancy=iq, req_id=next(_req_ids),
     )
 
 
 def write(arrival=0, tid=0):
-    return MemRequest(0x200, MemAccessType.WRITE, tid, arrival=arrival)
+    return MemRequest(
+        0x200, MemAccessType.WRITE, tid, arrival=arrival,
+        req_id=next(_req_ids),
+    )
 
 
 class TestFcfs:
