@@ -31,7 +31,9 @@ schedulers), :mod:`repro.workloads` (synthetic SPEC2000 profiles),
 from repro.experiments.config import SystemConfig
 from repro.experiments.figures import EXPERIMENTS, run_experiment
 from repro.experiments.parallel import ParallelRunner, ResultCache
+from repro.experiments.resilience import BatchJournal, RetryPolicy
 from repro.experiments.runner import MixResult, Runner, run_mix, run_single
+from repro.faults import FaultPlan, FaultSpec
 from repro.metrics.speedup import harmonic_mean_speedup, weighted_speedup
 from repro.telemetry import (
     EventTracer,
@@ -45,12 +47,16 @@ from repro.workloads.spec2000 import get_profile, profile_names
 __version__ = "1.1.0"
 
 __all__ = [
+    "BatchJournal",
     "EXPERIMENTS",
     "EventTracer",
+    "FaultPlan",
+    "FaultSpec",
     "MetricRegistry",
     "MixResult",
     "ParallelRunner",
     "ResultCache",
+    "RetryPolicy",
     "RunManifest",
     "Runner",
     "SystemConfig",

@@ -10,11 +10,20 @@
 * :mod:`repro.experiments.parallel` -- :class:`ParallelRunner` (a
   process-pool :class:`Runner`) and :class:`ResultCache` (a persistent
   on-disk store of simulation results).
+* :mod:`repro.experiments.resilience` -- fault-tolerant batch
+  execution: :class:`RetryPolicy` (timeouts/retries/pool recovery),
+  :class:`BatchJournal` (crash-safe resume), and
+  :class:`ResilienceStats` (what a batch survived).
 """
 
 from repro.experiments.config import SystemConfig
 from repro.experiments.figures import EXPERIMENTS, run_experiment
 from repro.experiments.parallel import ParallelRunner, ResultCache
+from repro.experiments.resilience import (
+    BatchJournal,
+    ResilienceStats,
+    RetryPolicy,
+)
 from repro.experiments.runner import (
     MixResult,
     Runner,
@@ -23,10 +32,13 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "BatchJournal",
     "EXPERIMENTS",
     "MixResult",
     "ParallelRunner",
+    "ResilienceStats",
     "ResultCache",
+    "RetryPolicy",
     "Runner",
     "SystemConfig",
     "run_experiment",

@@ -20,14 +20,17 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.analysis.sanitizer import SimSanitizer
+from repro.common.errors import JobFailureError
 from repro.experiments.ablations import ABLATIONS
 from repro.experiments.config import SystemConfig
 from repro.experiments.figures import EXPERIMENTS, run_experiment
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import Runner, run_mix
+from repro.faults import plan_from_env
 from repro.telemetry import EventTracer, Telemetry
 from repro.telemetry.manifest import (
     RunManifest,
@@ -105,6 +108,28 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="persist simulation results under PATH and reuse them on "
         "later invocations (off by default)",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget; a hung worker is killed and the "
+        "job retried or the batch aborted (pooled execution only)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry crashed/timed-out/transiently-failing jobs up to N "
+        "times (default 0: fail fast)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted batch from its journal: jobs recorded "
+        "complete are served from the result cache without re-simulating "
+        "(requires --cache-dir; results are bit-identical to an "
+        "uninterrupted run)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="crash-safe batch journal path (default with --resume: "
+        "<cache-dir>/batch-journal.jsonl)",
+    )
     _add_sanitize_argument(parser)
     _add_manifest_argument(parser)
 
@@ -113,9 +138,32 @@ def _make_runner(args: argparse.Namespace) -> Runner:
     jobs = getattr(args, "jobs", 1) or 1
     cache_dir = getattr(args, "cache_dir", None)
     sanitize = getattr(args, "sanitize", False)
-    if jobs > 1 or cache_dir:
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", 0) or 0
+    resume = getattr(args, "resume", False)
+    journal = getattr(args, "journal", None)
+    if resume and not cache_dir:
+        raise SystemExit(
+            "error: --resume needs --cache-dir (completed jobs are "
+            "served from the persistent result cache)"
+        )
+    if journal is None and resume:
+        journal = str(Path(cache_dir) / "batch-journal.jsonl")
+    fault_plan = plan_from_env()
+    engine_options = (
+        jobs > 1 or cache_dir or timeout is not None or retries
+        or journal or fault_plan is not None
+    )
+    if engine_options:
         return ParallelRunner(
-            jobs=jobs, cache_dir=cache_dir, sanitize=sanitize
+            jobs=jobs,
+            cache_dir=cache_dir,
+            sanitize=sanitize,
+            timeout_s=timeout,
+            retries=retries,
+            journal=journal,
+            resume=resume,
+            fault_plan=fault_plan,
         )
     return Runner(sanitize=sanitize)
 
@@ -249,6 +297,38 @@ def build_parser() -> argparse.ArgumentParser:
 def _print_runner_manifest(runner: Runner, args: argparse.Namespace) -> None:
     path = runner.write_manifest(getattr(args, "manifest_dir", None))
     print(f"[manifest: {path}]")
+    journal = getattr(runner, "journal", None)
+    if journal is not None:
+        journal.record_event("batch-end")
+        journal.close()
+        print(f"[journal: {journal.path}]")
+
+
+def _print_resilience_summary(runner: Runner) -> None:
+    stats = runner.resilience
+    if stats.eventful:
+        c = stats.counters()
+        print(
+            "[resilience: "
+            f"{c['resumed_jobs']} resumed, {c['retries']} retries, "
+            f"{c['timeouts']} timeouts, {c['worker_crashes']} crashes, "
+            f"{c['pool_rebuilds']} pool rebuilds, "
+            f"{c['serial_fallbacks']} serial fallbacks]"
+        )
+
+
+def _batch_failure(runner: Runner, exc: JobFailureError) -> int:
+    """Report an aborted batch; exit code 3 (resumable operational failure)."""
+    print(f"error: {exc}", file=sys.stderr)
+    journal = getattr(runner, "journal", None)
+    if journal is not None:
+        journal.close()
+        print(
+            f"[journal: {journal.path}] completed work is safe; "
+            "rerun with --resume to continue from it",
+            file=sys.stderr,
+        )
+    return 3
 
 
 def _print_single_run_manifest(
@@ -296,22 +376,26 @@ def _maybe_sanitized_run(
 def _run_figures(names: list[str], args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     runner = _make_runner(args)
-    for name in names:
-        start = time.perf_counter()
-        kwargs = {"config": config, "runner": runner}
-        if getattr(args, "mixes", None) and name != "fig1":
-            kwargs["mixes"] = args.mixes
-        if name in ABLATIONS:
-            result = ABLATIONS[name](**kwargs)
-        else:
-            result = run_experiment(name, **kwargs)
-        print(result.render())
-        csv_path = getattr(args, "csv", None)
-        if csv_path:
-            result.save_csv(csv_path)
-            print(f"[rows written to {csv_path}]")
-        print(f"[{name} completed in {time.perf_counter() - start:.1f}s]")
-        print()
+    try:
+        for name in names:
+            start = time.perf_counter()
+            kwargs = {"config": config, "runner": runner}
+            if getattr(args, "mixes", None) and name != "fig1":
+                kwargs["mixes"] = args.mixes
+            if name in ABLATIONS:
+                result = ABLATIONS[name](**kwargs)
+            else:
+                result = run_experiment(name, **kwargs)
+            print(result.render())
+            csv_path = getattr(args, "csv", None)
+            if csv_path:
+                result.save_csv(csv_path)
+                print(f"[rows written to {csv_path}]")
+            print(f"[{name} completed in {time.perf_counter() - start:.1f}s]")
+            print()
+    except JobFailureError as exc:
+        return _batch_failure(runner, exc)
+    _print_resilience_summary(runner)
     _print_runner_manifest(runner, args)
     return 0
 
@@ -439,16 +523,20 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         runner = _make_runner(args)
-        text = generate_report(
-            config=_config_from_args(args),
-            experiments=args.experiments,
-            include_ablations=args.ablations,
-            runner=runner,
-            progress=lambda name: print(f"running {name}..."),
-        )
+        try:
+            text = generate_report(
+                config=_config_from_args(args),
+                experiments=args.experiments,
+                include_ablations=args.ablations,
+                runner=runner,
+                progress=lambda name: print(f"running {name}..."),
+            )
+        except JobFailureError as exc:
+            return _batch_failure(runner, exc)
         with open(args.out, "w") as handle:
             handle.write(text)
         print(f"report written to {args.out}")
+        _print_resilience_summary(runner)
         _print_runner_manifest(runner, args)
         return 0
     return _run_figures([args.command], args)

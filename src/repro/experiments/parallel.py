@@ -26,16 +26,30 @@ the exact serial behaviour, so existing workflows reproduce verbatim.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Sequence
 
 from repro.experiments.config import SystemConfig
+from repro.experiments.resilience import (
+    BatchJournal,
+    ResilienceStats,
+    RetryPolicy,
+    execute_jobs,
+)
 from repro.experiments.runner import MixResult, Runner, run_mix
+from repro.faults import FaultPlan
 from repro.telemetry import Telemetry
+from repro.telemetry.manifest import run_id
+
+log = logging.getLogger("repro.experiments.parallel")
+
+#: ``*.tmp`` orphans older than this are removed on cache init; younger
+#: ones may belong to a concurrent writer mid-``put`` and are left alone.
+STALE_TMP_SECONDS = 3600.0
 
 #: Bump whenever the meaning of cached results changes (simulator
 #: semantics, MixResult schema, profile calibration, ...).  A bump
@@ -66,10 +80,17 @@ class ResultCache:
 
     Entries are one pickle file per job under ``cache_dir``, named by
     the SHA-256 of ``(version, config.cache_key(), apps)``.  Writes go
-    through a per-pid temp file and :func:`os.replace`, so concurrent
-    workers (or concurrent drivers sharing a cache directory) never
-    observe a torn entry.  Corrupt or unreadable entries count as
-    misses and are re-simulated, never raised.
+    through a per-pid temp file that is fsynced before
+    :func:`os.replace`, so neither concurrent workers nor a host crash
+    can leave a torn or zero-length "valid" entry behind.
+
+    An entry that cannot be read back — truncated pickle, garbage
+    bytes, or a payload that is not a :class:`MixResult` of the
+    expected shape — is *quarantined*: moved to
+    ``cache_dir/quarantine/`` (so the next lookup doesn't pay to fail
+    on it again), counted in ``corrupt`` (separately from ``misses``),
+    and logged with its path.  Lookups still just return ``None``;
+    corruption is never raised at the reader.
     """
 
     def __init__(
@@ -80,8 +101,31 @@ class ResultCache:
         self.version = version
         self.hits = 0
         self.misses = 0
+        #: Entries quarantined because they could not be decoded.
+        self.corrupt = 0
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``*.tmp`` orphans left by crashed writers.
+
+        Only files older than :data:`STALE_TMP_SECONDS` are removed: a
+        young temp file may belong to a live concurrent ``put`` whose
+        ``os.replace`` has not happened yet.
+        """
+        now = time.time()  # repro: allow(DET002) file-age housekeeping, not simulation
+        for tmp in sorted(self.cache_dir.glob("*.tmp")):
+            try:
+                if now - tmp.stat().st_mtime > STALE_TMP_SECONDS:
+                    tmp.unlink()
+                    log.warning("removed stale cache temp file %s", tmp)
+            except OSError:
+                pass  # already gone, or unreadable -- leave it
 
     # ------------------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.cache_dir / "quarantine"
 
     def path_for(self, config: SystemConfig, apps: Sequence[str]) -> Path:
         """Cache file path for one job (exposed for inspection/tests)."""
@@ -89,18 +133,57 @@ class ResultCache:
         digest = hashlib.sha256(repr(key).encode()).hexdigest()
         return self.cache_dir / f"{digest}.pkl"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.corrupt += 1
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # Lost a race (another reader quarantined it, or a writer
+            # healed it); the warning below still records the sighting.
+            target = path
+        log.warning(
+            "quarantined corrupt cache entry %s -> %s (%s); will re-simulate",
+            path.name, target, reason,
+        )
+
     def get(self, config: SystemConfig, apps: Sequence[str]) -> MixResult | None:
+        path = self.path_for(config, apps)
         # Unpickling corrupt bytes can raise nearly anything (ValueError,
         # UnpicklingError, EOFError, ImportError, ...); any failure to
-        # read an entry is by contract a miss, so catch broadly.
+        # read an entry means re-simulating, never raising.
         try:
-            with open(self.path_for(config, apps), "rb") as handle:
+            with open(path, "rb") as handle:
                 result = pickle.load(handle)
-        except Exception:
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except Exception as exc:
+            self._quarantine(path, f"{type(exc).__name__}: {exc}")
+            return None
+        if not self._valid_payload(result):
+            self._quarantine(
+                path, f"payload is {type(result).__name__}, not a MixResult"
+            )
             return None
         self.hits += 1
         return result
+
+    @staticmethod
+    def _valid_payload(result: object) -> bool:
+        """Schema check: only a well-formed :class:`MixResult` may escape.
+
+        A wrong-type payload (hand-edited file, version skew, a pickle
+        of something else entirely) would otherwise propagate into
+        figure drivers and corrupt their output silently.
+        """
+        return (
+            isinstance(result, MixResult)
+            and isinstance(getattr(result, "apps", None), tuple)
+            and getattr(result, "core", None) is not None
+            and getattr(result, "hierarchy", None) is not None
+        )
 
     def put(
         self, config: SystemConfig, apps: Sequence[str], result: MixResult
@@ -109,6 +192,11 @@ class ResultCache:
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         with open(tmp, "wb") as handle:
             pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            # Without the fsync a host crash can surface the rename but
+            # not the data, leaving a zero-length entry that passes the
+            # atomic-replace contract while holding nothing.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
 
     # ------------------------------------------------------------------
@@ -131,6 +219,10 @@ def run_many(
     cache: ResultCache | None = None,
     memo: dict | None = None,
     collect_metrics: bool = False,
+    policy: RetryPolicy | None = None,
+    journal: BatchJournal | None = None,
+    stats: ResilienceStats | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[MixResult]:
     """Run a list of ``(config, apps)`` jobs, in parallel where possible.
 
@@ -142,6 +234,20 @@ def run_many(
     bit-identical to the pooled path and is the deterministic default.
     ``collect_metrics`` gives each fresh simulation a live metric
     registry whose snapshot rides back on ``MixResult.metrics``.
+
+    Fresh simulations execute through the fault-tolerant executor
+    (:func:`repro.experiments.resilience.execute_jobs`): ``policy``
+    adds per-job timeouts, bounded retries, and broken-pool recovery;
+    ``journal`` makes the batch crash-safe and resumable (a job
+    journaled complete on a previous, interrupted invocation is served
+    from the cache without re-simulating); ``stats`` accumulates
+    retry/timeout/crash counters; ``fault_plan`` deterministically
+    injects failures (chaos testing).  Each fresh result is memoized
+    and written to the cache *as it completes* — before its journal
+    line — so an interruption at any point loses at most in-flight
+    work.  Unrecoverable failures raise
+    :class:`~repro.common.errors.BatchAborted` (or its timeout/crash
+    refinements) carrying the failing job's identity.
     """
     normalized = [(config, tuple(apps)) for config, apps in jobs]
     results: list[MixResult | None] = [None] * len(normalized)
@@ -157,6 +263,12 @@ def run_many(
             cached = cache.get(config, apps)
             if cached is not None and memo is not None:
                 memo[key] = cached
+            if cached is not None and journal is not None and stats is not None:
+                # A journaled-complete job resumed from the cache: the
+                # whole point of --resume.  (A cache hit without a
+                # journal entry is ordinary cross-run reuse.)
+                if journal.completed(run_id(config, apps)):
+                    stats.resumed_jobs += 1
         if cached is not None:
             results[i] = cached
             continue
@@ -165,21 +277,25 @@ def run_many(
 
     if todo:
         simulate = _simulate_with_metrics if collect_metrics else _simulate
-        if parallelism > 1 and len(todo) > 1:
-            workers = min(parallelism, len(todo))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(simulate, config, apps)
-                    for _, config, apps in todo
-                ]
-                fresh = [future.result() for future in futures]
-        else:
-            fresh = [simulate(config, apps) for _, config, apps in todo]
-        for (key, config, apps), result in zip(todo, fresh):
+
+        def persist(todo_index: int, result: MixResult) -> None:
+            key, config, apps = todo[todo_index]
             if memo is not None:
                 memo[key] = result
             if cache is not None:
                 cache.put(config, apps, result)
+
+        fresh = execute_jobs(
+            [(config, apps) for _, config, apps in todo],
+            simulate,
+            parallelism=parallelism,
+            policy=policy,
+            journal=journal,
+            stats=stats,
+            fault_plan=fault_plan,
+            on_complete=persist,
+        )
+        for (key, _, _), result in zip(todo, fresh):
             for i in indices_for[key]:
                 results[i] = result
     return results  # fully populated; None only if a job list was empty
@@ -200,6 +316,19 @@ class ParallelRunner(Runner):
     cache:
         An existing :class:`ResultCache` to share between runners;
         overrides ``cache_dir``.
+    timeout_s / retries / backoff_s / max_pool_rebuilds:
+        Fault-tolerance policy for batch execution (see
+        :class:`~repro.experiments.resilience.RetryPolicy`); alternatively
+        pass a full ``retry_policy``.
+    journal:
+        Path of a crash-safe batch journal (or an existing
+        :class:`~repro.experiments.resilience.BatchJournal`).  With
+        ``resume=True`` an existing journal is loaded and completed
+        jobs are served from the cache without re-simulating;
+        otherwise the journal is started fresh.
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` injected into every batch
+        (chaos testing only).
     """
 
     def __init__(
@@ -210,16 +339,36 @@ class ParallelRunner(Runner):
         cache: ResultCache | None = None,
         collect_metrics: bool = False,
         sanitize: bool = False,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        backoff_s: float = 0.0,
+        max_pool_rebuilds: int = 2,
+        retry_policy: RetryPolicy | None = None,
+        journal: BatchJournal | str | os.PathLike | None = None,
+        resume: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                retries=retries,
+                timeout_s=timeout_s,
+                backoff_base_s=backoff_s,
+                max_pool_rebuilds=max_pool_rebuilds,
+            )
+        if journal is not None and not isinstance(journal, BatchJournal):
+            journal = BatchJournal(journal, resume=resume)
         super().__init__(
             baseline_multiplier=baseline_multiplier,
             cache=cache,
             collect_metrics=collect_metrics,
             sanitize=sanitize,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            journal=journal,
         )
         self.jobs = jobs
 
@@ -240,6 +389,10 @@ class ParallelRunner(Runner):
             cache=self.cache,
             memo=self._results,
             collect_metrics=self.collect_metrics,
+            policy=self.retry_policy,
+            journal=self.journal,
+            stats=self.resilience,
+            fault_plan=self.fault_plan,
         )
         wall = time.perf_counter() - start
         # Provenance, in submission order.  The batched path cannot
@@ -265,3 +418,14 @@ class ParallelRunner(Runner):
         m = super().manifest()
         m.workers = self.jobs
         return m
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "BatchJournal",
+    "ParallelRunner",
+    "ResilienceStats",
+    "ResultCache",
+    "RetryPolicy",
+    "run_many",
+]

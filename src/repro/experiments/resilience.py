@@ -1,0 +1,565 @@
+"""Fault-tolerant batch execution for the experiment engine.
+
+The paper's evaluation is built from large sweeps of independent
+``(config, apps)`` simulations (Figures 5-14, Table 2 mixes x
+configurations).  ``run_many`` fans those across a process pool; this
+module makes that fan-out survive the failures a multi-hour campaign
+actually meets:
+
+* **Per-job wall-clock timeouts** — a watchdog in the parent tracks a
+  deadline for every in-flight pooled job; a hung worker is detected,
+  the pool is torn down (a stuck worker cannot be cancelled any other
+  way), and the job is retried or the batch aborted with
+  :class:`~repro.common.errors.SimulationTimeout`.  Jobs are submitted
+  in windows of at most ``parallelism`` so a queued job's clock never
+  starts before it runs.
+* **Bounded retries with deterministic backoff** — timeouts, worker
+  crashes, and *transient* exceptions (anything whose ``transient``
+  attribute is true, e.g. :class:`repro.faults.InjectedFault`) are
+  retried up to ``RetryPolicy.retries`` times; every attempt leaves a
+  :class:`~repro.common.errors.JobFailure` record in the stats and the
+  journal.  Backoff is derived from the job's content identity, not a
+  wall-clock RNG, so reruns pause identically.
+* **Broken-pool recovery** — a worker that dies (OOM-kill, segfault,
+  injected ``os._exit``) breaks the whole ``ProcessPoolExecutor``; the
+  executor rebuilds the pool and resubmits unfinished work, and after
+  ``max_pool_rebuilds`` rebuilds degrades gracefully to serial
+  in-process execution so a pathological environment still completes.
+* **Crash-safe batch journal** — an append-only JSONL file records
+  every job outcome (fsynced line by line), written *after* the result
+  is durably in the ResultCache.  An interrupted sweep rerun with the
+  same journal resumes from completed work: journaled-complete jobs
+  are served from the cache with zero re-simulation.
+
+Determinism: recovery never changes results.  A retried or resumed job
+re-runs the same deterministic simulation and the caller collects
+results by submission index, so a batch that lost workers, timed out,
+or was killed and resumed is bit-identical to an undisturbed one — the
+chaos suite (``tests/chaos``) asserts exactly this.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.common.errors import (
+    BatchAborted,
+    JobFailure,
+    JobFailureError,
+    SimulationTimeout,
+    WorkerCrashed,
+)
+from repro.common.rng import derive_seed
+from repro.faults import FaultPlan, InjectedCrash
+from repro.telemetry.manifest import config_hash, run_id
+
+log = logging.getLogger("repro.experiments.resilience")
+
+#: Journal document schema version (bump on incompatible line changes).
+JOURNAL_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the executor fights for each job.
+
+    The default policy — no retries, no timeout — makes the executor
+    behave exactly like the plain engine: first failure propagates.
+    """
+
+    #: Extra attempts after the first (0 = fail fast).
+    retries: int = 0
+    #: Per-job wall-clock budget in seconds; ``None`` disables the
+    #: watchdog.  Enforced for pooled execution only — a serial job
+    #: runs in-process and cannot be preempted.
+    timeout_s: float | None = None
+    #: First retry waits this long, doubling per attempt, plus a
+    #: deterministic (content-derived) jitter fraction.  0 = no wait.
+    backoff_base_s: float = 0.0
+    #: Pool rebuilds tolerated before degrading to serial execution.
+    max_pool_rebuilds: int = 2
+
+    def backoff_s(self, job_id: str, attempt: int) -> float:
+        """Deterministic backoff before retry number ``attempt`` (1-based)."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        base = self.backoff_base_s * (2 ** (attempt - 1))
+        jitter = (derive_seed(0, f"{job_id}:backoff:{attempt}") % 1024) / 1024.0
+        return base * (1.0 + jitter)
+
+
+@dataclass
+class ResilienceStats:
+    """Counters and per-attempt failure records for one batch (or runner).
+
+    Mirrored into the run manifest (``extra["resilience"]``) so a
+    sweep's provenance says not just what ran but what it survived.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    injected_faults: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    #: Jobs served from the journal + cache on a resumed batch.
+    resumed_jobs: int = 0
+    failures: list[JobFailure] = field(default_factory=list)
+
+    def counters(self) -> dict:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "injected_faults": self.injected_faults,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallbacks": self.serial_fallbacks,
+            "resumed_jobs": self.resumed_jobs,
+        }
+
+    @property
+    def eventful(self) -> bool:
+        """Whether anything beyond plain execution happened."""
+        return any(self.counters().values()) or bool(self.failures)
+
+    def as_dict(self) -> dict:
+        return {
+            **self.counters(),
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+
+class BatchJournal:
+    """Append-only, crash-safe JSONL record of batch job outcomes.
+
+    One line per event; ``complete`` lines are written only after the
+    job's result is durable in the persistent cache, and every line is
+    flushed and fsynced before the write returns, so the journal never
+    claims more than the cache holds.  Loading tolerates a torn final
+    line (the write the crash interrupted).
+
+    ``resume=True`` loads completed job ids from an existing file and
+    appends; otherwise an existing journal is truncated (a fresh
+    batch).
+    """
+
+    def __init__(self, path: str | os.PathLike, resume: bool = False) -> None:
+        self.path = Path(path).expanduser()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._completed: dict[str, dict] = {}
+        self.replayed_failures = 0
+        mode = "a" if resume and self.path.exists() else "w"
+        if mode == "a":
+            self._load()
+        self._handle = open(self.path, mode)
+        if mode == "w":
+            self._write_line(
+                {"event": "batch-start", "schema": JOURNAL_SCHEMA}
+            )
+
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # A torn final line from the interrupted run; the
+                    # event it described never durably happened.
+                    continue
+                if record.get("event") == "complete":
+                    self._completed[record["job"]] = record
+                elif record.get("event") == "failure":
+                    self.replayed_failures += 1
+
+    def _write_line(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+
+    def completed(self, job_id: str) -> bool:
+        return job_id in self._completed
+
+    @property
+    def completed_jobs(self) -> dict[str, dict]:
+        return dict(self._completed)
+
+    def record_complete(
+        self, job_id: str, attempts: int, source: str, wall_s: float
+    ) -> None:
+        record = {
+            "event": "complete",
+            "job": job_id,
+            "attempts": attempts,
+            "source": source,
+            "wall_s": round(wall_s, 6),
+        }
+        self._write_line(record)
+        self._completed[job_id] = record
+
+    def record_failure(self, failure: JobFailure) -> None:
+        self._write_line(
+            {
+                "event": "failure",
+                "job": failure.job_id,
+                "attempt": failure.attempt,
+                "kind": failure.kind,
+                "detail": failure.detail,
+            }
+        )
+
+    def record_event(self, event: str, **fields) -> None:
+        self._write_line({"event": event, **fields})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# worker entry point
+
+
+def _attempt_in_worker(
+    simulate: Callable,
+    plan: FaultPlan | None,
+    job_id: str,
+    attempt: int,
+    config: Any,
+    apps: tuple[str, ...],
+):
+    """Pool-worker wrapper: fire any planned fault, then simulate.
+
+    Module-level so it pickles; ``simulate`` must itself be a
+    module-level callable (``repro.experiments.parallel._simulate``).
+    """
+    if plan is not None:
+        plan.maybe_fire(job_id, apps, attempt, in_worker=True)
+    return simulate(config, apps)
+
+
+# ----------------------------------------------------------------------
+# the executor
+
+
+class _JobState:
+    """Bookkeeping for one deduplicated job inside ``execute_jobs``."""
+
+    __slots__ = ("index", "config", "apps", "job_id", "cfg_hash", "attempts")
+
+    def __init__(self, index: int, config: Any, apps: tuple[str, ...]) -> None:
+        self.index = index
+        self.config = config
+        self.apps = apps
+        self.job_id = run_id(config, apps)
+        self.cfg_hash = config_hash(config)
+        self.attempts = 0  # failed attempts so far
+
+
+def execute_jobs(
+    jobs: Sequence[tuple],
+    simulate: Callable,
+    parallelism: int = 1,
+    policy: RetryPolicy | None = None,
+    journal: BatchJournal | None = None,
+    stats: ResilienceStats | None = None,
+    fault_plan: FaultPlan | None = None,
+    on_complete: Callable[[int, Any], None] | None = None,
+) -> list:
+    """Run ``jobs`` (a deduplicated ``(config, apps)`` list) to completion.
+
+    Returns results in job order.  ``on_complete(index, result)`` fires
+    as soon as a job's result exists — *before* its journal line — so
+    callers persist results (memo + cache) ahead of the completion
+    record; a crash between the two re-simulates one job instead of
+    trusting a journal entry with no backing data.
+
+    Raises :class:`~repro.common.errors.SimulationTimeout`,
+    :class:`~repro.common.errors.WorkerCrashed`, or
+    :class:`~repro.common.errors.BatchAborted` (all carrying the
+    failing job's identity and the per-attempt failure records) when a
+    job cannot be recovered within the policy.  ``KeyboardInterrupt``
+    cancels pending work, journals the interruption, and propagates —
+    the journal plus cache make the batch resumable.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    stats = stats if stats is not None else ResilienceStats()
+    states = [_JobState(i, config, tuple(apps)) for i, (config, apps) in enumerate(jobs)]
+    results: list = [None] * len(states)
+    pending: set[int] = set(range(len(states)))
+
+    # ------------------------------------------------------------------
+    # shared outcome handling
+
+    def finish(state: _JobState, result: Any, source: str, wall_s: float) -> None:
+        results[state.index] = result
+        pending.discard(state.index)
+        if on_complete is not None:
+            on_complete(state.index, result)
+        if journal is not None:
+            journal.record_complete(
+                state.job_id, state.attempts + 1, source, wall_s
+            )
+
+    def fail(state: _JobState, kind: str, detail: str, cause: BaseException | None,
+             retryable: bool) -> bool:
+        """Record one failed attempt; True if the job should be retried."""
+        state.attempts += 1
+        failure = JobFailure(
+            job_id=state.job_id,
+            config_hash=state.cfg_hash,
+            apps=state.apps,
+            attempt=state.attempts,
+            kind=kind,
+            detail=detail,
+        )
+        stats.failures.append(failure)
+        if kind == "timeout":
+            stats.timeouts += 1
+        elif kind == "crash":
+            stats.worker_crashes += 1
+        elif kind == "injected":
+            stats.injected_faults += 1
+        if journal is not None:
+            journal.record_failure(failure)
+        log.warning(
+            "job %s (apps=%s) attempt %d failed: %s: %s",
+            state.job_id[:16], ",".join(state.apps), state.attempts, kind, detail,
+        )
+        if retryable and state.attempts <= policy.retries:
+            stats.retries += 1
+            delay = policy.backoff_s(state.job_id, state.attempts)
+            if delay > 0:
+                time.sleep(delay)
+            return True
+        if journal is not None:
+            journal.record_event("abort", job=state.job_id, kind=kind)
+        error_cls = {
+            "timeout": SimulationTimeout,
+            "crash": WorkerCrashed,
+        }.get(kind, BatchAborted)
+        verb = {
+            "timeout": "timed out",
+            "crash": "crashed",
+        }.get(kind, f"failed ({detail})" if detail else "failed")
+        raise error_cls(
+            f"batch aborted: job {verb} on attempt {state.attempts} "
+            f"(policy allows {policy.retries} retries)",
+            job_id=state.job_id,
+            config_hash=state.cfg_hash,
+            apps=state.apps,
+            attempts=state.attempts,
+            failures=tuple(stats.failures),
+        ) from cause
+
+    def classify(exc: BaseException) -> tuple[str, bool]:
+        """Map an exception to (failure kind, retryable)."""
+        if isinstance(exc, InjectedCrash):
+            return "crash", True
+        if getattr(exc, "transient", False):
+            return "injected", True
+        return "exception", False
+
+    # ------------------------------------------------------------------
+    # serial execution (parallelism == 1, or the degraded fallback)
+
+    def run_serial() -> None:
+        queue = deque(sorted(pending))
+        while queue:
+            state = states[queue.popleft()]
+            try:
+                if fault_plan is not None:
+                    fault_plan.maybe_fire(
+                        state.job_id, state.apps, state.attempts, in_worker=False
+                    )
+                start = time.perf_counter()
+                result = simulate(state.config, state.apps)
+                finish(state, result, "serial", time.perf_counter() - start)
+            except KeyboardInterrupt:
+                if journal is not None:
+                    journal.record_event("interrupted", job=state.job_id)
+                raise
+            except Exception as exc:
+                kind, retryable = classify(exc)
+                if fail(state, kind, str(exc), exc, retryable):
+                    queue.appendleft(state.index)  # retry before moving on
+
+    # ------------------------------------------------------------------
+    # pooled execution
+
+    def kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear down a pool that holds a hung worker.
+
+        A running task cannot be cancelled through the executor API, so
+        the watchdog terminates the worker processes directly (a
+        CPython implementation detail, guarded accordingly) and
+        abandons the pool object.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    rebuilds = 0  # this batch only; stats accumulate across batches
+
+    def run_pool_round() -> None:
+        """One pool lifetime: submit pending work, harvest until done or broken.
+
+        Leaves unresolved jobs in ``pending``; the outer loop rebuilds
+        the pool (or falls back to serial) for whatever remains.
+        """
+        nonlocal rebuilds
+        workers = min(parallelism, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        queue = deque(sorted(pending))
+        inflight: dict = {}  # future -> (state, deadline, start)
+        broken = False
+        killed = False
+        try:
+            while queue or inflight:
+                # Windowed submission: a job's timeout clock must not
+                # start while it is still queued behind busy workers.
+                while queue and len(inflight) < workers:
+                    state = states[queue.popleft()]
+                    future = pool.submit(
+                        _attempt_in_worker,
+                        simulate,
+                        fault_plan,
+                        state.job_id,
+                        state.attempts,
+                        state.config,
+                        state.apps,
+                    )
+                    deadline = (
+                        time.monotonic() + policy.timeout_s
+                        if policy.timeout_s is not None
+                        else None
+                    )
+                    inflight[future] = (state, deadline, time.perf_counter())
+                wait_s = None
+                deadlines = [d for (_, d, _) in inflight.values() if d is not None]
+                if deadlines:
+                    wait_s = max(0.0, min(deadlines) - time.monotonic())
+                done, _ = wait(
+                    set(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
+                )
+                for future in sorted(done, key=lambda f: inflight[f][0].index):
+                    state, _, start = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        if fail(
+                            state, "crash",
+                            "worker process died (process pool broken)",
+                            None, retryable=True,
+                        ):
+                            pass  # stays in pending; outer loop resubmits
+                    except KeyboardInterrupt:  # pragma: no cover - defensive
+                        raise
+                    except Exception as exc:
+                        kind, retryable = classify(exc)
+                        if fail(state, kind, str(exc), exc, retryable):
+                            queue.append(state.index)
+                        continue
+                    else:
+                        finish(state, result, "pool", time.perf_counter() - start)
+                if broken:
+                    # Remaining in-flight futures are doomed too; their
+                    # jobs stay pending for the rebuilt pool (without
+                    # consuming an attempt — the crash was charged to
+                    # the futures that already surfaced it).
+                    rebuilds += 1
+                    stats.pool_rebuilds += 1
+                    if journal is not None:
+                        journal.record_event("pool-rebuild", reason="broken")
+                    return
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_, deadline, _) in inflight.items()
+                    if deadline is not None and now >= deadline
+                    and not future.done()
+                ]
+                if expired:
+                    for future in sorted(
+                        expired, key=lambda f: inflight[f][0].index
+                    ):
+                        state, _, _ = inflight.pop(future)
+                        fail(
+                            state, "timeout",
+                            f"exceeded {policy.timeout_s:.3f}s wall-clock budget",
+                            None, retryable=True,
+                        )
+                    # The hung workers hold pool slots hostage; kill the
+                    # pool and let the outer loop rebuild for everything
+                    # still pending (in-flight innocents are requeued
+                    # without consuming an attempt).
+                    rebuilds += 1
+                    stats.pool_rebuilds += 1
+                    if journal is not None:
+                        journal.record_event("pool-rebuild", reason="timeout")
+                    kill_pool(pool)
+                    killed = True
+                    return
+        except KeyboardInterrupt:
+            for future in inflight:
+                future.cancel()
+            if journal is not None:
+                journal.record_event("interrupted")
+            kill_pool(pool)
+            killed = True
+            raise
+        except JobFailureError:
+            kill_pool(pool)
+            killed = True
+            raise
+        finally:
+            if not killed:
+                # Clean completion joins the workers; a broken pool's
+                # processes are already gone, so don't block on them.
+                pool.shutdown(wait=not broken, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+
+    if parallelism > 1 and len(pending) > 1:
+        while pending:
+            if rebuilds > policy.max_pool_rebuilds:
+                stats.serial_fallbacks += 1
+                if journal is not None:
+                    journal.record_event(
+                        "serial-fallback", remaining=len(pending)
+                    )
+                log.warning(
+                    "process pool broke %d times; finishing %d job(s) serially",
+                    rebuilds, len(pending),
+                )
+                break
+            run_pool_round()
+    if pending:
+        run_serial()
+    return results

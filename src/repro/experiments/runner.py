@@ -27,6 +27,11 @@ from repro.cpu.stats import CoreResult
 from repro.dram.stats import DRAMStats
 from repro.dram.system import MemorySystem
 from repro.experiments.config import SystemConfig
+from repro.experiments.resilience import (
+    ResilienceStats,
+    RetryPolicy,
+    execute_jobs,
+)
 from repro.os.vm import VirtualMemory
 from repro.metrics.speedup import weighted_speedup
 from repro.telemetry import MetricRegistry, Telemetry
@@ -263,6 +268,19 @@ class Runner:
     single-thread baseline runs: weighted speedup divides by the
     baseline IPC, so baseline sampling noise amplifies through every
     WS number; longer (cached, cheap) baselines damp it.
+
+    Fault tolerance: ``retry_policy`` (see
+    :class:`~repro.experiments.resilience.RetryPolicy`) retries
+    transient failures of fresh simulations; ``journal`` (a
+    :class:`~repro.experiments.resilience.BatchJournal`) records every
+    outcome crash-safely so an interrupted campaign resumes from
+    completed work; ``fault_plan`` injects deterministic chaos.  When
+    any of these are active, unrecoverable failures surface as
+    :class:`~repro.common.errors.BatchAborted` (or its timeout/crash
+    refinements) carrying the failing job's identity; with none of
+    them (the default) execution and error behaviour are exactly as
+    before.  ``runner.resilience`` accumulates retry/timeout/crash
+    counters either way and is folded into the manifest.
     """
 
     def __init__(
@@ -271,6 +289,9 @@ class Runner:
         cache=None,
         collect_metrics: bool = False,
         sanitize: bool = False,
+        retry_policy=None,
+        fault_plan=None,
+        journal=None,
     ) -> None:
         if baseline_multiplier < 1:
             raise ValueError("baseline_multiplier must be >= 1")
@@ -285,6 +306,22 @@ class Runner:
         #: under a :class:`~repro.analysis.sanitizer.SimSanitizer` and
         #: raises SanitizerError if any invariant was violated.
         self.sanitize = sanitize or sanitize_requested()
+        #: Fault-tolerance policy for fresh simulations (None = default).
+        self.retry_policy = retry_policy
+        #: Deterministic fault injection (chaos testing only).
+        self.fault_plan = fault_plan
+        #: Crash-safe batch journal (resume support).
+        self.journal = journal
+        #: Retry/timeout/crash counters + failure records for this runner.
+        self.resilience = ResilienceStats()
+        # Route single runs through the resilient executor only when
+        # something beyond plain execution was requested, so default
+        # runners keep raising original exceptions unwrapped.
+        self._resilient = (
+            (retry_policy is not None and retry_policy != RetryPolicy())
+            or fault_plan is not None
+            or journal is not None
+        )
         self._results: dict[tuple, MixResult] = {}
         #: Provenance of every distinct run served, keyed by run id
         #: (first source wins -- a later memo hit does not demote a
@@ -301,6 +338,20 @@ class Runner:
                 config, apps, source=source, wall_time_s=wall_time_s
             )
 
+    def _simulate_once(self, config: SystemConfig, apps: tuple[str, ...]) -> MixResult:
+        """One fresh simulation with this runner's telemetry/sanitize setup."""
+        telemetry = Telemetry() if self.collect_metrics else None
+        if self.sanitize:
+            sanitizer = SimSanitizer(
+                tracer=telemetry.tracer if telemetry is not None else None
+            )
+            result = run_mix(
+                config, apps, telemetry=telemetry, sanitizer=sanitizer
+            )
+            sanitizer.raise_if_violations()
+            return result
+        return run_mix(config, apps, telemetry=telemetry)
+
     def _cached_run(self, config: SystemConfig, apps: tuple[str, ...]) -> MixResult:
         key = (config.cache_key(), apps)
         result = self._results.get(key)
@@ -311,24 +362,34 @@ class Runner:
             result = self.cache.get(config, apps)
             if result is not None:
                 self._record(config, apps, "disk-cache")
+                if self.journal is not None and self.journal.completed(
+                    _run_id(config, apps)
+                ):
+                    self.resilience.resumed_jobs += 1
         if result is None:
             start = time.perf_counter()
-            telemetry = Telemetry() if self.collect_metrics else None
-            if self.sanitize:
-                sanitizer = SimSanitizer(
-                    tracer=telemetry.tracer if telemetry is not None else None
-                )
-                result = run_mix(
-                    config, apps, telemetry=telemetry, sanitizer=sanitizer
-                )
-                sanitizer.raise_if_violations()
+            if self._resilient:
+                result = execute_jobs(
+                    [(config, apps)],
+                    self._simulate_once,
+                    parallelism=1,
+                    policy=self.retry_policy,
+                    journal=self.journal,
+                    stats=self.resilience,
+                    fault_plan=self.fault_plan,
+                    on_complete=lambda _i, res: (
+                        self.cache.put(config, apps, res)
+                        if self.cache is not None
+                        else None
+                    ),
+                )[0]
             else:
-                result = run_mix(config, apps, telemetry=telemetry)
+                result = self._simulate_once(config, apps)
+                if self.cache is not None:
+                    self.cache.put(config, apps, result)
             self._record(
                 config, apps, "simulated", time.perf_counter() - start
             )
-            if self.cache is not None:
-                self.cache.put(config, apps, result)
         self._results[key] = result
         return result
 
@@ -341,7 +402,16 @@ class Runner:
         return list(self._records.values())
 
     def manifest(self) -> RunManifest:
-        """Provenance manifest for every run this runner has served."""
+        """Provenance manifest for every run this runner has served.
+
+        When the batch met (and survived) failures, the manifest's
+        ``extra["resilience"]`` block records the retry/timeout/crash
+        counters and every per-attempt failure, so a sweep's provenance
+        says not just what ran but what it recovered from.
+        """
+        extra = {}
+        if self.resilience.eventful:
+            extra["resilience"] = self.resilience.as_dict()
         snapshots = [
             r.metrics for r in self._results.values() if r.metrics
         ]
@@ -349,6 +419,7 @@ class Runner:
             records=self.records,
             metrics=MetricRegistry.merge(snapshots) if snapshots else {},
             wall_time_s=sum(r.wall_time_s for r in self._records.values()),
+            extra=extra,
         )
 
     def write_manifest(self, directory=None) -> Path:

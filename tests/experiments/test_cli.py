@@ -190,3 +190,58 @@ class TestErrorExits:
         err = capsys.readouterr().err
         assert "unknown experiment" in err
         assert "nope" in err
+
+
+class TestResilienceFlags:
+    QUICK = ["--instructions", "200", "--warmup", "50", "--scale", "32"]
+
+    def test_flags_parsed(self):
+        args = build_parser().parse_args([
+            "fig10", "--timeout", "30", "--retries", "2",
+            "--resume", "--journal", "j.jsonl",
+        ])
+        assert args.timeout == 30.0
+        assert args.retries == 2
+        assert args.resume is True
+        assert args.journal == "j.jsonl"
+
+    def test_resume_requires_cache_dir(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig10", *self.QUICK, "--mixes", "2-MEM", "--resume"])
+        assert "--cache-dir" in str(excinfo.value)
+
+    def test_journal_written_and_reported(self, capsys, tmp_path):
+        code = main([
+            "fig10", *self.QUICK, "--mixes", "2-MEM",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal", str(tmp_path / "journal.jsonl"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[journal: " in out
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        events = [json.loads(line)["event"] for line in lines]
+        assert events[0] == "batch-start"
+        assert "complete" in events
+        assert events[-1] == "batch-end"
+
+    def test_fault_plan_abort_then_resume(self, capsys, tmp_path, monkeypatch):
+        """The chaos-lane flow, in-process: a fault plan aborts the run
+        with exit 3 and a resume hint; the --resume rerun completes."""
+        from repro.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec
+
+        plan = FaultPlan(specs=(FaultSpec(kind="exception", attempt=None),))
+        plan_path = plan.write(tmp_path / "plan.json")
+        cache_dir = str(tmp_path / "cache")
+        argv = ["fig10", *self.QUICK, "--mixes", "2-MEM",
+                "--cache-dir", cache_dir, "--resume"]
+
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(plan_path))
+        assert main(argv) == 3
+        err = capsys.readouterr().err
+        assert "--resume" in err
+        assert "batch-journal.jsonl" in err
+
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        assert main(argv) == 0
+        assert "[journal: " in capsys.readouterr().out

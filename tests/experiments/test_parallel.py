@@ -61,6 +61,68 @@ class TestResultCache:
             cache.path_for(tiny_config, ("gzip",)).write_bytes(garbage)
             assert cache.get(tiny_config, ("gzip",)) is None
 
+    def test_corrupt_entry_quarantined_not_rehit(self, tiny_config, tmp_path):
+        """Satellite: corruption moves the file aside and is counted once.
+
+        Before the quarantine, every lookup of a corrupt entry paid to
+        fail on it again (and counted as a plain miss, hiding the
+        corruption from operators).
+        """
+        cache = ResultCache(tmp_path)
+        result = run_mix(tiny_config, ("gzip",))
+        cache.put(tiny_config, ("gzip",), result)
+        path = cache.path_for(tiny_config, ("gzip",))
+        path.write_bytes(b"not a pickle")
+        assert cache.get(tiny_config, ("gzip",)) is None
+        assert cache.corrupt == 1 and cache.misses == 0
+        # the entry is gone from the cache dir, parked in quarantine/
+        assert not path.exists()
+        assert (cache.quarantine_dir / path.name).exists()
+        # the next lookup is an honest miss, not another decode failure
+        assert cache.get(tiny_config, ("gzip",)) is None
+        assert cache.corrupt == 1 and cache.misses == 1
+
+    def test_corruption_logs_a_warning(self, tiny_config, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        cache.put(tiny_config, ("gzip",), run_mix(tiny_config, ("gzip",)))
+        cache.path_for(tiny_config, ("gzip",)).write_bytes(b"garbage")
+        with caplog.at_level("WARNING", logger="repro.experiments.parallel"):
+            assert cache.get(tiny_config, ("gzip",)) is None
+        assert any("quarantined" in r.message for r in caplog.records)
+
+    def test_wrong_type_payload_rejected(self, tiny_config, tmp_path):
+        """Satellite: a valid pickle of the wrong type must not escape.
+
+        A wrong-type payload used to propagate straight into figure
+        drivers; now the schema check quarantines it like any other
+        corruption.
+        """
+        import pickle as _pickle
+
+        cache = ResultCache(tmp_path)
+        cache.put(tiny_config, ("gzip",), run_mix(tiny_config, ("gzip",)))
+        path = cache.path_for(tiny_config, ("gzip",))
+        path.write_bytes(_pickle.dumps({"imposter": True}))
+        assert cache.get(tiny_config, ("gzip",)) is None
+        assert cache.corrupt == 1
+        assert (cache.quarantine_dir / path.name).exists()
+
+    def test_stale_tmp_orphans_swept_on_init(self, tiny_config, tmp_path):
+        """Satellite: crashed writers' temp files are cleaned up, but a
+        live writer's fresh temp file is left alone."""
+        import os as _os
+        import time as _time
+
+        stale = tmp_path / "deadbeef.pkl.12345.tmp"
+        stale.write_bytes(b"half a result")
+        old = _time.time() - 7200
+        _os.utime(stale, (old, old))
+        fresh = tmp_path / "cafe.pkl.67890.tmp"
+        fresh.write_bytes(b"in flight right now")
+        ResultCache(tmp_path)
+        assert not stale.exists()
+        assert fresh.exists()
+
     def test_len_and_clear(self, tiny_config, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(tiny_config, ("gzip",), run_mix(tiny_config, ("gzip",)))
@@ -127,7 +189,10 @@ class TestResultCacheConcurrency:
         healed = cache.get(tiny_config, ("gzip",))
         assert healed is not None
         assert healed.ipcs == result.ipcs
-        assert cache.misses == 1 and cache.hits == 1
+        # Corruption is counted apart from honest misses, and the bad
+        # entry was quarantined rather than silently rewritten over.
+        assert cache.corrupt == 1 and cache.misses == 0 and cache.hits == 1
+        assert len(list(cache.quarantine_dir.glob("*.pkl"))) == 1
 
 
 class TestRunMany:
