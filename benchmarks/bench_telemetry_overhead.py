@@ -16,6 +16,7 @@ or directly::
     PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
 """
 
+import dataclasses
 import os
 import statistics
 import time
@@ -88,6 +89,41 @@ def _report(stats: dict) -> str:
         f"(+{stats['trace_overhead']:.0%}, "
         f"{stats['events']} events)"
     )
+
+
+def test_disabled_path_is_zero_cost(monkeypatch):
+    """With telemetry off, the simulation must make *zero* instrument
+    calls — not even no-op calls on the null singletons.
+
+    The hot paths (core tick, fetch policies, DRAM issue) hoist their
+    telemetry checks so a disabled run never touches an instrument;
+    this pins that audit by counting invocations on the null-instrument
+    classes during an untelemetered fast-engine run.
+    """
+    from repro.telemetry import registry as reg
+
+    calls = {"n": 0}
+
+    def counting(name):
+        def method(self, *args, **kwargs):
+            calls["n"] += 1
+        method.__name__ = name
+        return method
+
+    monkeypatch.setattr(reg._NullCounter, "add", counting("add"))
+    monkeypatch.setattr(reg._NullGauge, "set", counting("set"))
+    monkeypatch.setattr(reg._NullHistogram, "observe", counting("observe"))
+    monkeypatch.setattr(reg._NullSeries, "record", counting("record"))
+
+    for engine in ("fast", "reference"):
+        calls["n"] = 0
+        config = dataclasses.replace(_config(600), engine=engine)
+        result = run_mix(config, _APPS)
+        assert result.core.cycles > 0
+        assert calls["n"] == 0, (
+            f"{engine} engine made {calls['n']} instrument calls "
+            "with telemetry disabled"
+        )
 
 
 @pytest.mark.slow

@@ -72,7 +72,7 @@ class SanitizedEventQueue(EventQueue):
     """Event queue that checks fire-time monotonicity on every pop.
 
     Same semantics (and same tie-break behaviour) as
-    :class:`~repro.common.events.EventQueue`; the run loops are
+    :class:`~repro.common.events.EventQueue`; the pop loops are
     re-implemented with the monotonicity assertion inline because the
     sanitizer must see every individual pop.
     """
@@ -94,18 +94,19 @@ class SanitizedEventQueue(EventQueue):
             )
         self._last_fired = when
 
-    def run_until(self, time: int) -> int:
+    def _drain(self, time: int) -> int:
+        # run_until's empty/early-out path lives in the base class;
+        # only the pop loop needs the per-event check.
         heap = self._heap
-        if not heap or heap[0][0] > time:
-            self._now = time
-            return time
+        fired = 0
         while heap and heap[0][0] <= time:
             when, _seq, fn, args = heappop(heap)
             self._check_fire(when)
             self._now = when
             fn(*args)
+            fired += 1
         self._now = time
-        return time
+        return fired
 
     def run_all(self, limit: int = 10_000_000) -> int:
         fired = 0

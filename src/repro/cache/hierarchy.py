@@ -176,6 +176,11 @@ class MemoryHierarchy:
         # DG / DWarn (L1-level) and Fetch-Stall (L2-level) policies.
         self._l1_miss_lines: dict[int, int] = {}
         self._l2_miss_lines: dict[int, int] = {}
+        #: Monotonic change counter for ``_l2_miss_lines``.  The fast
+        #: engine's stalled-window kernel uses it to tell, in O(1),
+        #: whether an event batch touched the fetch policies' gating
+        #: state (see repro.engine.fast).
+        self.l2_miss_version = 0
 
     # ------------------------------------------------------------------
     # fetch-policy state queries
@@ -305,6 +310,7 @@ class MemoryHierarchy:
             return
         self.mshr.mark_dram(line)  # past the L2: long-latency for Fetch-Stall
         self._l2_miss_lines[thread_id] = self._l2_miss_lines.get(thread_id, 0) + 1
+        self.l2_miss_version += 1
         self.event_queue.schedule(
             now + self.params.l3_latency,
             self._probe_l3,
@@ -349,6 +355,7 @@ class MemoryHierarchy:
         initiator = self.mshr.initiator(line)
         if self.mshr.went_to_dram(line):
             self._decrement(self._l2_miss_lines, initiator)
+            self.l2_miss_version += 1
         self._decrement(self._l1_miss_lines, initiator)
         self.mshr.complete(line, finish)
 

@@ -35,7 +35,7 @@ class EventQueue:
     >>> q.schedule(5, fired.append, "a")
     >>> q.schedule(3, fired.append, "b")
     >>> q.run_until(10)
-    10
+    2
     >>> fired
     ['b', 'a']
     """
@@ -68,35 +68,59 @@ class EventQueue:
         self._seq += 1
         heappush(self._heap, (time, self._seq, fn, args))
 
-    def next_time(self) -> int | None:
-        """Timestamp of the earliest pending event, or ``None`` if empty."""
-        if not self._heap:
+    def peek_time(self) -> int | None:
+        """Timestamp of the earliest pending event, or ``None`` if empty.
+
+        O(1) and side-effect free; this is what skip logic (the
+        reference ``_maybe_skip`` and the fast engine's stalled-window
+        kernel) consults to bound how far the clock may jump.
+        """
+        heap = self._heap
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]
+
+    #: Backwards-compatible alias for :meth:`peek_time`.
+    next_time = peek_time
 
     def run_until(self, time: int) -> int:
         """Fire every event with timestamp ``<= time`` in order.
 
-        Returns the new current time (``time``).  Events scheduled by
-        fired events are themselves fired if they fall inside the
-        window, so the queue fully settles before control returns.
+        Returns the number of events fired (0 when the window held
+        none), so callers can cheaply detect whether any state may
+        have changed — the contract the fast engine's window-reuse
+        logic and the tests pin.  Always advances :attr:`now` to
+        ``time``.  Events scheduled by fired events are themselves
+        fired if they fall inside the window, so the queue fully
+        settles before control returns.
 
         This is the simulator's hottest function: the SMT core pumps it
         every cycle, and on most cycles the heap is empty or its head
-        lies beyond the window, so both cases return after a single
+        lies beyond the window, so that case returns after a single
         comparison.
         """
         heap = self._heap
         if not heap or heap[0][0] > time:
             self._now = time
-            return time
+            return 0
+        return self._drain(time)
+
+    def _drain(self, time: int) -> int:
+        """The non-empty-window half of :meth:`run_until`.
+
+        Split out so subclasses (the sanitizer's checking queue) can
+        instrument every pop without duplicating the early-out.
+        """
+        heap = self._heap
         pop = heappop
+        fired = 0
         while heap and heap[0][0] <= time:
             when, _seq, fn, args = pop(heap)
             self._now = when
             fn(*args)
+            fired += 1
         self._now = time
-        return time
+        return fired
 
     def run_all(self, limit: int = 10_000_000) -> int:
         """Drain the queue completely (used by memory-only simulations).

@@ -374,7 +374,7 @@ class SMTCore:
             if t.fetch_blocked_until <= cycle and not t.rob_full:
                 return
         candidates = []
-        next_event = self.event_queue.next_time()
+        next_event = self.event_queue.peek_time()
         if next_event is not None:
             candidates.append(next_event)
         for t in threads:
@@ -615,7 +615,8 @@ class SMTCore:
 
     def _schedule_issue(self, node: Inflight) -> None:
         opc = node.opc
-        calendar = self._fp_cal if opc.is_fp else self._int_cal
+        is_fp = opc is OpClass.FP_ALU or opc is OpClass.FP_MULT
+        calendar = self._fp_cal if is_fp else self._int_cal
         earliest = node.ready_lb
         now = self.event_queue.now
         if now > earliest:
@@ -632,7 +633,8 @@ class SMTCore:
     def _release_iq(self, node: Inflight) -> None:
         t = self.threads[node.thread_id]
         t.unissued -= 1
-        if node.opc.is_fp:
+        opc = node.opc
+        if opc is OpClass.FP_ALU or opc is OpClass.FP_MULT:
             self.fp_iq_used -= 1
             t.iq_fp -= 1
         else:

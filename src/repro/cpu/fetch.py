@@ -19,6 +19,7 @@ cycle; the core takes up to two threads and eight instructions total
 
 from __future__ import annotations
 
+import operator
 from typing import TYPE_CHECKING, Callable, List
 
 from repro.common.errors import ConfigError
@@ -39,17 +40,16 @@ class FetchPolicy:
         raise NotImplementedError
 
     def _trace_gate(
-        self, core: "SMTCore", cycle: int, threads, reason: str
+        self, tracer, cycle: int, threads, reason: str
     ) -> None:
         """Record that this policy gated ``threads`` out of fetching.
 
-        Cheap no-op when tracing is off (one attribute read on the
-        core); gating decisions are exactly what the paper's fetch
-        policies differ on, so they are first-class trace events.
+        Only called when a tracer is attached (callers hoist the
+        null check — ``order`` runs every cycle and must pay nothing
+        for disabled telemetry); gating decisions are exactly what the
+        paper's fetch policies differ on, so they are first-class
+        trace events.
         """
-        tracer = getattr(core, "tracer", None)
-        if tracer is None:
-            return
         for t in threads:
             tracer.emit(
                 cycle, "fetch.gate", "cpu.fetch", t.thread_id,
@@ -57,8 +57,10 @@ class FetchPolicy:
             )
 
 
-def _icount_key(thread: "ThreadContext") -> tuple:
-    return (thread.unissued, thread.thread_id)
+#: ICOUNT priority key: fewest in-flight unissued µops, thread id as
+#: the tie-break.  An attrgetter (C-level) because every ICOUNT-family
+#: policy evaluates it per eligible thread per cycle.
+_icount_key = operator.attrgetter("unissued", "thread_id")
 
 
 class RoundRobinPolicy(FetchPolicy):
@@ -91,16 +93,15 @@ class FetchStallPolicy(FetchPolicy):
     name = "stall"
 
     def order(self, eligible, core, cycle):
-        hierarchy = core.hierarchy
-        clean = [
-            t for t in eligible
-            if hierarchy.outstanding_l2_misses(t.thread_id) == 0
-        ]
+        # Direct map lookup (== outstanding_l2_misses): this runs per
+        # eligible thread per cycle on the fetch hot path.
+        l2_misses = core.hierarchy._l2_miss_lines.get
+        clean = [t for t in eligible if not l2_misses(t.thread_id)]
         if clean:
-            tracing = getattr(core, "tracer", None) is not None
-            if tracing and len(clean) < len(eligible):
+            tracer = core.tracer
+            if tracer is not None and len(clean) < len(eligible):
                 self._trace_gate(
-                    core, cycle,
+                    tracer, cycle,
                     [t for t in eligible if t not in clean], "l2-miss",
                 )
             return sorted(clean, key=_icount_key)
@@ -109,9 +110,10 @@ class FetchStallPolicy(FetchPolicy):
         # All threads have long-latency misses: keep exactly one
         # (the least-loaded) fetching so the pipeline never drains.
         keep = min(eligible, key=_icount_key)
-        if getattr(core, "tracer", None) is not None:
+        tracer = core.tracer
+        if tracer is not None:
             self._trace_gate(
-                core, cycle, [t for t in eligible if t is not keep], "l2-miss"
+                tracer, cycle, [t for t in eligible if t is not keep], "l2-miss"
             )
         return [keep]
 
@@ -131,15 +133,12 @@ class DGPolicy(FetchPolicy):
     name = "dg"
 
     def order(self, eligible, core, cycle):
-        hierarchy = core.hierarchy
-        clean = [
-            t for t in eligible
-            if hierarchy.outstanding_l2_misses(t.thread_id) == 0
-        ]
-        tracing = getattr(core, "tracer", None) is not None
-        if tracing and len(clean) < len(eligible):
+        l2_misses = core.hierarchy._l2_miss_lines.get
+        clean = [t for t in eligible if not l2_misses(t.thread_id)]
+        tracer = core.tracer
+        if tracer is not None and len(clean) < len(eligible):
             self._trace_gate(
-                core, cycle,
+                tracer, cycle,
                 [t for t in eligible if t not in clean], "dcache-miss",
             )
         return sorted(clean, key=_icount_key)
@@ -169,29 +168,30 @@ class DWarnPolicy(FetchPolicy):
     iq_pressure_threshold = 0.75
 
     def order(self, eligible, core, cycle):
-        hierarchy = core.hierarchy
+        l2_misses = core.hierarchy._l2_miss_lines.get
         clean = []
         warned = []
         for t in eligible:
-            if hierarchy.outstanding_l2_misses(t.thread_id) == 0:
-                clean.append(t)
-            else:
+            if l2_misses(t.thread_id):
                 warned.append(t)
+            else:
+                clean.append(t)
         clean.sort(key=_icount_key)
         limit = self.iq_pressure_threshold * core.params.int_iq_size
         if core.int_iq_used >= limit:
+            tracer = core.tracer
             if clean:
-                if getattr(core, "tracer", None) is not None and warned:
-                    self._trace_gate(core, cycle, warned, "iq-pressure")
+                if tracer is not None and warned:
+                    self._trace_gate(tracer, cycle, warned, "iq-pressure")
                 return clean
             # Never drain the pipeline completely: least-loaded
             # warned thread stays eligible.
             if not warned:
                 return []
             keep = min(warned, key=_icount_key)
-            if getattr(core, "tracer", None) is not None:
+            if tracer is not None:
                 self._trace_gate(
-                    core, cycle, [t for t in warned if t is not keep],
+                    tracer, cycle, [t for t in warned if t is not keep],
                     "iq-pressure",
                 )
             return [keep]

@@ -116,6 +116,9 @@ class CommandChannelController:
         self._c_commands = {
             c: registry.counter(f"{prefix}.cmd.{c.value}") for c in Command
         }
+        # Per-command metric guard: with telemetry off the counters are
+        # null singletons, and the hot path must not pay the no-op calls.
+        self._counting = registry is not NULL_REGISTRY
         self.banks = [
             _BankState() for _ in range(geometry.banks_per_logical_channel)
         ]
@@ -284,7 +287,8 @@ class CommandChannelController:
         timing = self.timing
         self.cmd_free_at = now + timing.t_cmd
         self.commands_issued[command] += 1
-        self._c_commands[command].add()
+        if self._counting:
+            self._c_commands[command].add()
         if request.issue_time < 0:
             request.issue_time = now
         if command is Command.PRECHARGE:
@@ -328,8 +332,9 @@ class CommandChannelController:
             data_end + timing.ctrl_response if request.is_read else data_end
         )
         self.stats.record_service(request.is_read, hit, request.thread_id)
-        (self._c_row_hits if hit else self._c_row_misses).add()
-        (self._c_reads if request.is_read else self._c_writes).add()
+        if self._counting:
+            (self._c_row_hits if hit else self._c_row_misses).add()
+            (self._c_reads if request.is_read else self._c_writes).add()
         if self._tracer is not None:
             name = "dram.CAS.read" if request.is_read else "dram.CAS.write"
             self._trace_command(name, request, now, timing.t_col, reason)

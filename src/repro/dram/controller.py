@@ -73,8 +73,20 @@ class ChannelController:
         self._c_row_misses = registry.counter(f"{prefix}.row_misses")
         self._c_reads = registry.counter(f"{prefix}.reads")
         self._c_writes = registry.counter(f"{prefix}.writes")
+        # Per-request metric guard: with telemetry off the counters are
+        # null singletons, and _issue must not pay even the no-op calls.
+        self._counting = registry is not NULL_REGISTRY
         self.banks = [Bank() for _ in range(geometry.banks_per_logical_channel)]
         self.transfer = timing.transfer_for_gang(geometry.gang)
+        # Flattened bank-timing fast path: the three state-dependent
+        # service latencies and the page-mode branch are resolved once
+        # here so the per-request path is plain attribute arithmetic
+        # instead of enum/property dispatch through Bank.classify().
+        self._open_mode = page_mode is PageMode.OPEN
+        self._lat_hit = timing.hit_latency
+        self._lat_closed = timing.closed_latency
+        self._lat_conflict = timing.conflict_latency
+        self._t_pre = timing.t_pre
         #: How far ahead (cycles) the bus may be committed before the
         #: controller stops issuing and waits; keeps scheduling
         #: reactive.  A tight horizon trades some bank-prep overlap for
@@ -92,9 +104,15 @@ class ChannelController:
     # scheduler context protocol
 
     def is_row_hit(self, request: MemRequest) -> bool:
-        """Whether ``request`` would hit the row buffer right now."""
-        bank = self.banks[request.bank]
-        return bank.classify(request.row, self.page_mode) == "hit"
+        """Whether ``request`` would hit the row buffer right now.
+
+        Equivalent to ``Bank.classify(...) == "hit"``; schedulers call
+        this once per candidate per pump, so it is kept branch-free.
+        """
+        return (
+            self._open_mode
+            and self.banks[request.bank].open_row == request.row
+        )
 
     def outstanding_for_thread(self, thread_id: int) -> int:
         """Live outstanding-request count (for the request-based scheme)."""
@@ -159,10 +177,34 @@ class ChannelController:
         self, request: MemRequest, now: int, reason: str | None = None
     ) -> None:
         bank = self.banks[request.bank]
-        latency = bank.service_latency(request.row, self.page_mode, self.timing)
+        # Inlined Bank.service_latency + Bank.serve (see __init__'s
+        # flattened timing): same classification, same state updates.
+        row = request.row
+        if self._open_mode:
+            open_row = bank.open_row
+            if open_row == row:
+                hit = True
+                latency = self._lat_hit
+            elif open_row is None:
+                hit = False
+                latency = self._lat_closed
+            else:
+                hit = False
+                latency = self._lat_conflict
+        else:
+            hit = False
+            latency = self._lat_closed
         data_start = max(now + latency, self.bus_free_at)
         data_end = data_start + self.transfer
-        hit = bank.serve(request.row, now, data_end, self.page_mode, self.timing)
+        bank.services += 1
+        if hit:
+            bank.row_hits += 1
+        if self._open_mode:
+            bank.open_row = row
+            bank.free_at = data_end
+        else:
+            bank.open_row = None
+            bank.free_at = data_end + self._t_pre
         self.bus_free_at = data_end
         (self.reads if request.is_read else self.writes).remove(request)
         request.issue_time = now
@@ -171,8 +213,9 @@ class ChannelController:
             data_end + self.timing.ctrl_response if request.is_read else data_end
         )
         self.stats.record_service(request.is_read, hit, request.thread_id)
-        (self._c_row_hits if hit else self._c_row_misses).add()
-        (self._c_reads if request.is_read else self._c_writes).add()
+        if self._counting:
+            (self._c_row_hits if hit else self._c_row_misses).add()
+            (self._c_reads if request.is_read else self._c_writes).add()
         if self._tracer is not None:
             tracer = self._tracer
             tracer.emit(

@@ -1,0 +1,44 @@
+"""Selectable execution engines for the simulator.
+
+Two engines run every simulation:
+
+* ``"reference"`` — the plain :class:`repro.cpu.core.SMTCore` loop,
+  kept deliberately simple: one inlined tick per simulated cycle.
+* ``"fast"`` — :class:`repro.engine.fast.FastSMTCore`, which replaces
+  stalled stretches of the tick loop with a closed-form kernel (cycle
+  skipping plus bulk stall accounting) and trims per-cycle dispatch
+  overhead.  It is **bit-identical** to the reference by contract:
+  every ``MixResult`` field, every RNG draw, every stall counter.
+
+The contract is enforced, not assumed: ``repro.engine.oracle`` (and
+the ``repro engine-diff`` CLI subcommand / CI lane) runs both engines
+over the fig10 sweep and fails loudly on the first diverging field.
+See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.cpu.core import SMTCore
+from repro.engine.fast import FastSMTCore
+
+#: Engine names accepted by :class:`repro.experiments.config.SystemConfig`.
+ENGINE_NAMES = ("reference", "fast")
+
+_ENGINES: dict[str, type[SMTCore]] = {
+    "reference": SMTCore,
+    "fast": FastSMTCore,
+}
+
+
+def core_class(engine: str) -> type[SMTCore]:
+    """The SMT-core class implementing the named engine."""
+    try:
+        return _ENGINES[engine]
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine {engine!r}; available: {ENGINE_NAMES}"
+        ) from None
+
+
+__all__ = ["ENGINE_NAMES", "FastSMTCore", "core_class"]

@@ -1,0 +1,753 @@
+"""The fast execution engine: bit-identical cycle-skipping SMT core.
+
+Profiling the reference loop on the paper's memory-bound mixes shows
+81-90% of ticked cycles fetch nothing: every eligible thread holds a
+µop that a full shared resource (issue queue or load/store queue)
+keeps rejecting, while the DRAM system grinds through the misses that
+will eventually free those resources.  The reference loop still pays
+the full tick for each of those cycles — commit walk, eligibility
+scan, policy sort, dispatch attempt — only to change almost nothing.
+
+:class:`FastSMTCore` recognizes those stretches and replaces them with
+a *stalled-window kernel*.  At the start of a window it proves that,
+until some future cycle ``W``, no per-cycle observable can change:
+
+* no event fires (the event-queue heap's head is ``>= W``),
+* no thread's ROB head reaches its finish time (commit is a no-op),
+* no blocked thread unblocks and no eligible thread's dispatch can
+  start succeeding (the rejecting resource only drains via events),
+* no telemetry/timeline sample falls due.
+
+Inside the window the only state the reference loop would advance is
+(a) each fetch-attempted thread's I-cache RNG stream — one draw per
+thread per cycle, in fetch-policy order, bounded by the fetch-thread
+cap — and (b) the per-cycle stall/rejection accounting and the commit
+round-robin pointer.  The kernel performs exactly the RNG draws the
+reference would (so the streams stay aligned bit-for-bit), accumulates
+the accounting in closed form, and advances the clock.  An I-cache
+miss inside the window ends it: that one cycle is replayed faithfully
+(miss penalties, fetch-thread cap, per-thread disposition) and control
+returns to the normal loop.
+
+Anything the kernel cannot prove safe falls back to normal ticking;
+an attached event tracer disables the fast loop entirely (gate events
+are per-cycle observables).  Bit-identity is enforced by
+``repro.engine.oracle`` and the ``engine-diff`` CI lane.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import OpClass
+from repro.cpu.core import SMTCore
+from repro.cpu.fetch import (
+    DGPolicy,
+    DWarnPolicy,
+    FetchStallPolicy,
+    ICountPolicy,
+    RoundRobinPolicy,
+)
+from repro.cpu.thread import FOREVER, Inflight
+
+_FP_ALU = OpClass.FP_ALU
+_FP_MULT = OpClass.FP_MULT
+_LOAD = OpClass.LOAD
+_STORE = OpClass.STORE
+_BRANCH = OpClass.BRANCH
+
+#: Fetch-policy classes whose ordering is a pure function of state
+#: that cannot change inside a stalled window (thread ids, ``unissued``
+#: counts, outstanding-miss sets, IQ occupancy).  Round-robin also
+#: reads the cycle number; the kernel handles that with per-rotation
+#: attempt tables.  Unknown (user-supplied) policies disable the
+#: kernel: the loop still runs, one cycle at a time.
+_WINDOW_SAFE_POLICIES = (
+    RoundRobinPolicy,
+    ICountPolicy,
+    FetchStallPolicy,
+    DGPolicy,
+    DWarnPolicy,
+)
+
+
+# ----------------------------------------------------------------------
+# shared µop streams
+#
+# A SyntheticStream's output is a pure function of its constructor
+# inputs: the (singleton) AppProfile, thread id, scale, and the exact
+# initial RNG state.  Experiment sweeps re-run identical streams many
+# times — figure 10 replays every mix and every single-thread baseline
+# once per scheduler — so the fast engine memoizes generated µops
+# process-wide, keyed by those constructor inputs.  Uop objects are
+# immutable after construction (the core wraps them in Inflight nodes),
+# so the cached objects are shared directly; a repeat run replays the
+# recorded prefix by list index and only falls back to the original
+# generator when it runs longer than any previous run with the same
+# key.
+
+#: key -> [uops_so_far, backing_generator]; the backing generator is
+#: the *first* stream seen for the key, kept so the list can be
+#: extended from its exact mid-stream state.
+_STREAM_MEMO: dict = {}
+
+#: Stop admitting new streams once the memo holds this many µops
+#: (~hundreds of MB of Uop objects); existing entries keep serving.
+_STREAM_MEMO_CAP = 2_000_000
+
+
+class _SharedStream:
+    """Replay view over a memoized µop stream (see above)."""
+
+    __slots__ = ("_entry", "_uops", "_pos", "_backing", "profile")
+
+    def __init__(self, entry, backing) -> None:
+        self._entry = entry
+        self._uops = entry[0]
+        self._pos = 0
+        self._backing = backing
+        self.profile = backing.profile
+
+    def next_uop(self):
+        pos = self._pos
+        uops = self._uops
+        if pos >= len(uops):
+            uops.append(self._entry[1].next_uop())
+        self._pos = pos + 1
+        return uops[pos]
+
+    def footprint(self):
+        # Region layout is fixed at construction, identical for every
+        # stream instance with this memo key.
+        return self._backing.footprint()
+
+
+def _shared_stream(stream):
+    """Wrap ``stream`` in a memoized replay view (or pass through)."""
+    try:
+        # AppProfile is a frozen dataclass: hashing by value keeps the
+        # key deterministic (no id()) and still exact — two streams
+        # with equal constructor inputs are behaviorally identical.
+        key = (
+            stream.profile,
+            stream.thread_id,
+            stream.scale,
+            stream._rng.getstate(),
+        )
+        hash(key)
+    except (AttributeError, TypeError):  # trace/custom streams: no memo
+        return stream
+    entry = _STREAM_MEMO.get(key)
+    if entry is None:
+        if sum(len(e[0]) for e in _STREAM_MEMO.values()) >= _STREAM_MEMO_CAP:
+            return stream
+        entry = ([], stream)
+        _STREAM_MEMO[key] = entry
+    return _SharedStream(entry, stream)
+
+
+class FastSMTCore(SMTCore):
+    """Drop-in :class:`SMTCore` with a cycle-skipping phase loop.
+
+    Construction, statistics, and results are inherited unchanged;
+    only how the clock advances differs, and that difference is
+    observationally null (see the module docstring and
+    ``docs/performance.md`` for the proof obligations).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        for t in self.threads:
+            t.stream = _shared_stream(t.stream)
+        #: Per-thread bound-method/constant tables, indexed by thread
+        #: id: the reference re-derives these on every fetch visit
+        #: (attribute walk + bound-method creation); they are loop
+        #: invariants.
+        self._t_miss_rate = [
+            t.stream.profile.icache_miss_rate for t in self.threads
+        ]
+        self._t_rng = [t.icache_rng.random for t in self.threads]
+        self._t_next = [t.stream.next_uop for t in self.threads]
+        #: Bumped by every event-side mutator of fetch-visible core
+        #: state (issue-queue drains, finish-time resolution and the
+        #: fetch unblocks it triggers).  Together with the hierarchy's
+        #: ``l2_miss_version`` it lets the stalled-window kernel reuse
+        #: a window derivation across event batches in O(1).
+        self._fe_version = 0
+
+    # ------------------------------------------------------------------
+    # version-counted mutators: verbatim reference bodies plus the one
+    # counter bump (inlined rather than delegated — both run once per
+    # µop and the extra call layer is measurable; scheduled events bind
+    # these overrides)
+
+    def _release_iq(self, node) -> None:
+        self._fe_version += 1
+        t = self.threads[node.thread_id]
+        t.unissued -= 1
+        opc = node.opc
+        if opc is _FP_ALU or opc is _FP_MULT:
+            self.fp_iq_used -= 1
+            t.iq_fp -= 1
+        else:
+            self.int_iq_used -= 1
+            t.iq_int -= 1
+            now = self.event_queue.now
+            if now != self._last_int_issue_cycle:
+                self._last_int_issue_cycle = now
+                self._int_issue_cycles += 1
+
+    def _resolve(self, node, finish: int) -> None:
+        """The node's finish time became known; wake its dependents."""
+        self._fe_version += 1
+        node.finish = finish
+        waiters = node.waiters
+        if waiters:
+            node.waiters = None
+            for waiter in waiters:
+                if waiter.__class__ is Inflight:
+                    if finish > waiter.ready_lb:
+                        waiter.ready_lb = finish
+                    waiter.deps_left -= 1
+                    if waiter.deps_left == 0:
+                        self._schedule_issue(waiter)
+                else:
+                    waiter(finish)
+
+    # ------------------------------------------------------------------
+    # phase loop
+
+    def _run_phase(self, per_thread_target: int, max_cycles: int) -> None:
+        if self._tracer is not None:
+            # Tracing records per-cycle gate/miss events; skipped cycles
+            # would lose them.  Traced runs take the reference loop.
+            SMTCore._run_phase(self, per_thread_target, max_cycles)
+            return
+        for t in self.threads:
+            t.warmup_committed = t.committed
+            t.target = per_thread_target
+            t.finish_cycle = None
+        self._unfinished = len(self.threads)
+        deadline = self.cycle + max_cycles
+        next_sweep = self.cycle + self._CALENDAR_SWEEP
+        event_queue = self.event_queue
+        run_until = event_queue.run_until
+        # Peeked directly instead of through peek_time(): this loop runs
+        # once per non-skipped cycle and the heap's identity is stable
+        # (heappush mutates in place).
+        heap = event_queue._heap
+        commit = self._commit
+        fetch = self._fetch_fast
+        maybe_skip = self._maybe_skip
+        stalled_window = self._stalled_window
+        int_cal = self._int_cal
+        fp_cal = self._fp_cal
+        sweep_interval = self._CALENDAR_SWEEP
+        sampling = self._next_sample is not None
+        kernel_ok = type(self.fetch_policy) in _WINDOW_SAFE_POLICIES
+        while self._unfinished and self.cycle < deadline:
+            cycle = self.cycle
+            if heap and heap[0][0] <= cycle:
+                run_until(cycle)
+            else:
+                event_queue._now = cycle
+            commit(cycle)
+            fetched = fetch(cycle)
+            if sampling and cycle >= self._next_sample:
+                self._sample(cycle)
+                self._next_sample = cycle + self._sample_every
+            cycle += 1
+            self.cycle = cycle
+            if cycle >= next_sweep:
+                int_cal.advance_floor(cycle)
+                fp_cal.advance_floor(cycle)
+                next_sweep = cycle + sweep_interval
+            if self._unfinished:
+                if not fetched and kernel_ok and stalled_window(deadline):
+                    # Events due at the (new) current cycle were already
+                    # pumped in stall mode; the reference's _maybe_skip
+                    # never jumps over due events, but it would observe
+                    # pre-event state here — tick the cycle directly.
+                    continue
+                maybe_skip()
+        if sampling:
+            # Trailing partial-interval sample (same as the reference).
+            self._sample(self.cycle)
+
+    # ------------------------------------------------------------------
+    # stalled-window kernel
+
+    def _reject_key(self, uop) -> str | None:
+        """Which rejection counter a dispatch of ``uop`` would bump now.
+
+        Mirrors the resource checks of :meth:`SMTCore._dispatch` in
+        order (FP IQ / int IQ, then LQ / SQ) for a thread whose ROB is
+        not full.  ``None`` means the dispatch would *succeed* — the
+        caller must not treat the thread as stalled.
+        """
+        opc = uop.opc
+        if opc is _FP_ALU or opc is _FP_MULT:
+            if self.fp_iq_used >= self.params.fp_iq_size:
+                return "iq"
+            return None
+        if self.int_iq_used >= self.params.int_iq_size:
+            return "iq"
+        if opc is _LOAD:
+            if self.lq_used >= self.params.lq_size:
+                return "lsq"
+            return None
+        if opc is _STORE:
+            if self.sq_used >= self.params.sq_size:
+                return "lsq"
+            return None
+        return None
+
+    def _stalled_window(self, deadline: int) -> bool:
+        """Advance across windows where no front-end progress is possible.
+
+        Reproduces the per-cycle observable effects of the reference
+        loop — RNG draws, stall/rejection accounting, commit-pointer
+        rotation, ``event_queue.now`` — exactly, then jumps the clock.
+        Stays in stall mode across event batches: when a window ends
+        because an event falls due, the events are pumped here (exactly
+        what the reference tick would do first at that cycle) and the
+        window re-proven from the post-event state, so long memory
+        stalls cost one window derivation per event batch instead of a
+        full tick per cycle.  A derivation is even *reused* across
+        batches when the pumped events provably touched none of its
+        inputs: every event-side mutator of fetch-visible state bumps a
+        version counter (``_fe_version`` here, ``l2_miss_version`` on
+        the hierarchy), so DRAM-internal batches — bus wake-ups,
+        controller pumps, MSHR retries — cost one integer compare.
+        Returns True when at least one cycle was replaced; the caller's
+        loop handles whatever ended stall mode.
+
+        Returns True when events due at the *current* cycle were fired
+        here without that cycle being replaced: the caller must then
+        tick the cycle immediately instead of running ``_maybe_skip``
+        (which would observe post-event state the reference's skip
+        check never sees; with events due now it never jumps anyway).
+        """
+        event_queue = self.event_queue
+        heap = event_queue._heap
+        run_until = event_queue.run_until
+        threads = self.threads
+        nthreads = len(threads)
+        stalls = self.stall_cycles
+        rejections = self.dispatch_rejections
+        params = self.params
+        icache_penalty = params.icache_miss_penalty
+        fetch_threads = params.fetch_threads
+        policy = self.fetch_policy
+        rotate = type(policy) is RoundRobinPolicy
+        reject_key = self._reject_key
+        hierarchy = self.hierarchy
+        next_sample = self._next_sample  # frozen: only ticks sample
+        miss_rates = self._t_miss_rate
+        rngs = self._t_rng
+
+        # Cached derivation, valid while the combined version counter
+        # matches (no event mutated fetch-visible state — both counters
+        # are monotonic, so the sum is change-equivalent) and the clock
+        # stays short of ``base_end`` (the first cycle at which a
+        # *non-event* input — unblock, commit, sample — changes).
+        seen_version = -1
+        base_end = 0
+        blocked_n = robfull_n = n_order = n_eligible = 0
+        rej_iq = rej_lsq = 0
+        attempts: list | None = None
+        stochastic = False
+        single_scan = scans = rotations = None
+
+        while True:
+            cycle0 = self.cycle
+            pumped = False
+            if cycle0 >= deadline:
+                return False
+            if heap and heap[0][0] <= cycle0:
+                # The reference tick at cycle0 starts by firing these;
+                # fire them now so the window is proven against the
+                # post-event state (occupancies, finish times).
+                run_until(cycle0)
+                pumped = True
+            version = self._fe_version + hierarchy.l2_miss_version
+            if version != seen_version or cycle0 >= base_end:
+                seen_version = -1
+                window_end = deadline
+                blocked_n = 0
+                robfull_n = 0
+                eligible = []
+                for t in threads:
+                    fbu = t.fetch_blocked_until
+                    if fbu > cycle0:
+                        blocked_n += 1
+                        if fbu < FOREVER and fbu < window_end:
+                            window_end = fbu  # unblocks: classes change
+                    elif len(t.rob) >= t.rob_size:
+                        robfull_n += 1
+                    else:
+                        eligible.append(t)
+                    rob = t.rob
+                    if rob:
+                        finish = rob[0].finish
+                        if finish is not None and finish < window_end:
+                            window_end = finish  # commit becomes possible
+                if not eligible:
+                    return pumped  # _maybe_skip's regime, not ours
+                if next_sample is not None and next_sample < window_end:
+                    window_end = next_sample
+                if window_end <= cycle0:
+                    return pumped
+                order = policy.order(eligible, self, cycle0)
+                rej_iq = 0
+                rej_lsq = 0
+                attempts = []
+                stochastic = False
+                stalled = True
+                for t in order:
+                    uop = t.pending_uop
+                    if uop is None:
+                        # The thread would fetch a fresh µop whose
+                        # resource needs we cannot know without
+                        # consuming the stream.
+                        stalled = False
+                        break
+                    key = reject_key(uop)
+                    if key is None:
+                        stalled = False  # dispatch would succeed
+                        break
+                    if key == "iq":
+                        rej_iq += 1
+                    else:
+                        rej_lsq += 1
+                    tid = t.thread_id
+                    mr = miss_rates[tid]
+                    if mr:
+                        stochastic = True
+                    attempts.append((t, mr, rngs[tid], key))
+                if not stalled:
+                    return pumped
+                n_order = len(attempts)
+                n_eligible = len(eligible)
+                single_scan = scans = rotations = None
+                if stochastic:
+                    # Round-robin rotates thread priority with the
+                    # cycle number; draw order within a cycle does not
+                    # matter for the per-thread RNG streams, but the
+                    # fetch-thread cap on a miss cycle binds by
+                    # position, so the true per-rotation order is kept.
+                    if rotate and n_order > 1:
+                        rotations = [
+                            sorted(
+                                attempts,
+                                key=lambda a, s=s: (
+                                    (a[0].thread_id - s) % nthreads
+                                ),
+                            )
+                            for s in range(nthreads)
+                        ]
+                        scans = [
+                            [
+                                (rnd, mr, j)
+                                for j, (_t, mr, rnd, _key) in enumerate(rot)
+                                if mr
+                            ]
+                            for rot in rotations
+                        ]
+                    else:
+                        single_scan = [
+                            (rnd, mr, j)
+                            for j, (_t, mr, rnd, _key) in enumerate(attempts)
+                            if mr
+                        ]
+                base_end = window_end
+                seen_version = version
+            window_end = base_end
+            if heap and heap[0][0] < window_end:
+                window_end = heap[0][0]
+            if window_end <= cycle0:
+                # An event at cycle0 was pumped above, so the head is
+                # beyond cycle0; this window is simply empty.
+                return pumped
+
+            # --- replay the window's cycles ------------------------------
+            miss_cycle = -1
+            if not stochastic:
+                # No thread can miss the I-cache: pure arithmetic.
+                span = window_end - cycle0
+            elif single_scan is not None and len(single_scan) == 1:
+                # One stochastic stream: scan it thread-major in a
+                # tight loop (the other attempts never draw).
+                rnd1, mr1, miss_at = single_scan[0]
+                k = cycle0
+                while k < window_end and rnd1() >= mr1:
+                    k += 1
+                if k < window_end:
+                    miss_cycle = k
+                    att = attempts
+                    att[miss_at][0].fetch_blocked_until = k + icache_penalty
+                    used = 1
+                    failed_keys = [att[j][3] for j in range(miss_at)]
+                    for j in range(miss_at + 1, n_order):
+                        if used >= fetch_threads:
+                            break
+                        t2, mr2, rnd2, key2 = att[j]
+                        if mr2 and rnd2() < mr2:
+                            t2.fetch_blocked_until = k + icache_penalty
+                            used += 1
+                        else:
+                            failed_keys.append(key2)
+                span = (miss_cycle + 1 if miss_cycle >= 0 else window_end) - cycle0
+            else:
+                k = cycle0
+                while k < window_end:
+                    scan = (
+                        single_scan
+                        if single_scan is not None
+                        else scans[k % nthreads]
+                    )
+                    miss_at = -1
+                    for rnd, mr, j in scan:
+                        if rnd() < mr:
+                            miss_at = j
+                            break
+                    if miss_at < 0:
+                        k += 1
+                        continue
+                    # -- miss cycle: replay its bookkeeping exactly --
+                    miss_cycle = k
+                    att = (
+                        attempts
+                        if single_scan is not None
+                        else rotations[k % nthreads]
+                    )
+                    att[miss_at][0].fetch_blocked_until = k + icache_penalty
+                    used = 1
+                    # Threads ahead of the miss attempted and failed.
+                    failed_keys = [att[j][3] for j in range(miss_at)]
+                    for j in range(miss_at + 1, n_order):
+                        if used >= fetch_threads:
+                            break
+                        t2, mr2, rnd2, key2 = att[j]
+                        if mr2 and rnd2() < mr2:
+                            t2.fetch_blocked_until = k + icache_penalty
+                            used += 1
+                        else:
+                            failed_keys.append(key2)
+                    break
+                span = (miss_cycle + 1 if miss_cycle >= 0 else window_end) - cycle0
+
+            # --- flush accounting for the replayed span ------------------
+            # Miss-free cycles: every ordered thread attempts and is
+            # rejected; eligible threads the policy gated out are "not
+            # selected"; blocked / ROB-full threads accrue their
+            # per-cycle disposition.  The miss cycle (if any) differs
+            # only in who reached a dispatch attempt.
+            plain = span - 1 if miss_cycle >= 0 else span
+            stalls["fetch_blocked"] += span * blocked_n
+            stalls["rob_full"] += span * robfull_n
+            stalls["resource_full"] += plain * n_order
+            stalls["not_selected"] += plain * (n_eligible - n_order)
+            if rej_iq:
+                rejections["iq"] += plain * rej_iq
+            if rej_lsq:
+                rejections["lsq"] += plain * rej_lsq
+            if miss_cycle >= 0:
+                stalls["resource_full"] += len(failed_keys)
+                stalls["not_selected"] += n_eligible - len(failed_keys)
+                for key2 in failed_keys:
+                    rejections[key2] += 1
+                # The replay itself just blocked the missing thread(s)
+                # — a fetch-visible change no event-side counter saw.
+                seen_version = -1
+            self._commit_ptr = (self._commit_ptr + span) % nthreads
+            new_cycle = cycle0 + span
+            self.cycle = new_cycle
+            event_queue._now = new_cycle - 1
+            # Loop: if stall persists past window_end (event batch due,
+            # miss blocked one thread, ...), the next iteration proves
+            # and replays the next window; anything else returns.
+
+    # ------------------------------------------------------------------
+    # fetch / dispatch hot path
+
+    def _fetch_fast(self, cycle: int) -> int:
+        """The reference :meth:`SMTCore._fetch` with tracer branches
+        dropped (the fast loop only runs untraced) and locals hoisted.
+        Returns the number of µops dispatched this cycle, which the
+        phase loop uses to decide whether a stalled window may have
+        opened."""
+        params = self.params
+        stalls = self.stall_cycles
+        eligible = []
+        for t in self.threads:
+            if t.fetch_blocked_until > cycle:
+                stalls["fetch_blocked"] += 1
+            elif len(t.rob) >= t.rob_size:
+                stalls["rob_full"] += 1
+            else:
+                eligible.append(t)
+        if not eligible:
+            return 0
+        order = self.fetch_policy.order(eligible, self, cycle)
+        fetch_width = params.fetch_width
+        fetch_threads = params.fetch_threads
+        icache_penalty = params.icache_miss_penalty
+        int_iq_size = params.int_iq_size
+        fp_iq_size = params.fp_iq_size
+        lq_size = params.lq_size
+        sq_size = params.sq_size
+        rejections = self.dispatch_rejections
+        dispatch = self._dispatch
+        miss_rates = self._t_miss_rate
+        rngs = self._t_rng
+        nexts = self._t_next
+        # A rejected dispatch changes no state, so the resource check
+        # is hoisted out of the call — unless the sanitizer has
+        # wrapped ``_dispatch`` (instance attribute) to observe every
+        # attempt, in which case all attempts go through the wrapper.
+        precheck = "_dispatch" not in self.__dict__
+        fetched = 0
+        threads_used = 0
+        dispatched_threads = set()
+        resource_stalled: set[int] = set()
+        for t in order:
+            if threads_used >= fetch_threads:
+                break
+            if fetched >= fetch_width:
+                break
+            tid = t.thread_id
+            miss_rate = miss_rates[tid]
+            if miss_rate and rngs[tid]() < miss_rate:
+                t.fetch_blocked_until = cycle + icache_penalty
+                threads_used += 1
+                continue
+            taken = 0
+            stream_next = nexts[tid]
+            while fetched < fetch_width and taken < fetch_width:
+                uop = t.pending_uop
+                if uop is None:
+                    uop = stream_next()
+                if precheck:
+                    opc = uop.opc
+                    if opc is _FP_ALU or opc is _FP_MULT:
+                        key = (
+                            "iq" if self.fp_iq_used >= fp_iq_size else None
+                        )
+                    elif self.int_iq_used >= int_iq_size:
+                        key = "iq"
+                    elif opc is _LOAD and self.lq_used >= lq_size:
+                        key = "lsq"
+                    elif opc is _STORE and self.sq_used >= sq_size:
+                        key = "lsq"
+                    else:
+                        key = None
+                    if key is not None:
+                        rejections[key] += 1
+                        t.pending_uop = uop
+                        if not taken:
+                            resource_stalled.add(t.thread_id)
+                        break
+                outcome = dispatch(t, uop, cycle)
+                if not outcome:
+                    t.pending_uop = uop
+                    if not taken:
+                        resource_stalled.add(t.thread_id)
+                    break
+                t.pending_uop = None
+                fetched += 1
+                taken += 1
+                if outcome == 2:
+                    break  # redirect: nothing behind the branch is fetched
+                if len(t.rob) >= t.rob_size:
+                    break
+            if taken:
+                threads_used += 1
+                dispatched_threads.add(t.thread_id)
+        for t in eligible:
+            tid = t.thread_id
+            if tid in dispatched_threads:
+                continue
+            if tid in resource_stalled:
+                stalls["resource_full"] += 1
+            else:
+                stalls["not_selected"] += 1
+        return fetched
+
+    def _dispatch(self, t, uop, cycle: int) -> int:
+        """Reference :meth:`SMTCore._dispatch` with enum-property calls
+        replaced by identity checks and params hoisted — same outcomes,
+        same counter updates, bit for bit."""
+        opc = uop.opc
+        if len(t.rob) >= t.rob_size:
+            return False
+        params = self.params
+        is_fp = opc is _FP_ALU or opc is _FP_MULT
+        if is_fp:
+            if self.fp_iq_used >= params.fp_iq_size:
+                self.dispatch_rejections["iq"] += 1
+                return 0
+        elif self.int_iq_used >= params.int_iq_size:
+            self.dispatch_rejections["iq"] += 1
+            return 0
+        if opc is _LOAD and self.lq_used >= params.lq_size:
+            self.dispatch_rejections["lsq"] += 1
+            return 0
+        if opc is _STORE and self.sq_used >= params.sq_size:
+            self.dispatch_rejections["lsq"] += 1
+            return 0
+
+        mispredicted = opc is _BRANCH and self._branch_mispredicted(t, uop)
+        node = Inflight(
+            t.thread_id,
+            t.seq,
+            opc,
+            uop.addr,
+            mispredicted,
+            cycle + params.frontend_latency,
+        )
+        dep1 = uop.dep1
+        if dep1:
+            producer = t.producer(dep1)
+            if producer is not None:
+                finish = producer.finish
+                if finish is None:
+                    node.deps_left += 1
+                    producer.add_waiter(node)
+                elif finish > node.ready_lb:
+                    node.ready_lb = finish
+        dep2 = uop.dep2
+        if dep2:
+            producer = t.producer(dep2)
+            if producer is not None:
+                finish = producer.finish
+                if finish is None:
+                    node.deps_left += 1
+                    producer.add_waiter(node)
+                elif finish > node.ready_lb:
+                    node.ready_lb = finish
+
+        t.ring[t.seq % len(t.ring)] = node
+        t.seq += 1
+        t.rob.append(node)
+        t.fetched += 1
+        t.unissued += 1
+        if is_fp:
+            self.fp_iq_used += 1
+            t.iq_fp += 1
+        else:
+            self.int_iq_used += 1
+            t.iq_int += 1
+        if opc is _LOAD:
+            self.lq_used += 1
+        elif opc is _STORE:
+            self.sq_used += 1
+        if mispredicted:
+            t.fetch_blocked_until = FOREVER
+            node.add_waiter(self._make_branch_unblock(t))
+            if self._tracer is not None:
+                self._tracer.emit(
+                    cycle, "fetch.redirect", "cpu.fetch", t.thread_id,
+                    args={"reason": "branch-mispredict"},
+                )
+        if node.deps_left == 0:
+            self._schedule_issue(node)
+        return 2 if mispredicted else 1

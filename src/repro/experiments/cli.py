@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.analysis.sanitizer import SimSanitizer
 from repro.common.errors import JobFailureError
+from repro.engine import ENGINE_NAMES
 from repro.experiments.ablations import ABLATIONS
 from repro.experiments.config import SystemConfig
 from repro.experiments.figures import EXPERIMENTS, run_experiment
@@ -77,6 +78,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--vm", choices=("none", "bin-hopping", "page-coloring", "random"),
         default=None, help="virtual-memory page allocation policy",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINE_NAMES, default=None,
+        help="execution engine (fast: cycle-skipping kernel, the "
+        "default; reference: the plain per-cycle loop; bit-identical "
+        "by contract, enforced by 'engine-diff')",
     )
 
 
@@ -184,6 +191,7 @@ def _config_from_args(args: argparse.Namespace) -> SystemConfig:
         "page_mode": "page_mode",
         "controller": "controller_model",
         "vm": "vm_policy",
+        "engine": "engine",
     }
     for arg_name, field_name in mapping.items():
         value = getattr(args, arg_name, None)
@@ -282,6 +290,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--ablations", action="store_true",
         help="include the ablation studies",
+    )
+
+    p = sub.add_parser(
+        "engine-diff",
+        help="prove the fast engine bit-identical: run reference and "
+        "fast over the fig10 sweep and fail on the first divergence",
+    )
+    _add_config_arguments(p)
+    p.add_argument(
+        "--mixes", nargs="+", default=None,
+        help="subset of workload mixes to sweep (default: the fig10 "
+        "memory-bound mixes)",
+    )
+    p.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop at the first diverging configuration (the CI mode)",
     )
 
     p = sub.add_parser(
@@ -400,10 +424,30 @@ def _run_figures(names: list[str], args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_engine_diff(args: argparse.Namespace) -> int:
+    """The ``engine-diff`` oracle sweep; exit 0 only on zero divergence."""
+    from repro.engine.oracle import run_fig10_sweep, summarize
+
+    config = _config_from_args(args)
+    start = time.perf_counter()
+    reports = run_fig10_sweep(
+        config=config,
+        mixes=getattr(args, "mixes", None),
+        progress=lambda report: print(report.render(), flush=True),
+        fail_fast=args.fail_fast,
+    )
+    print(f"[swept {len(reports)} configurations "
+          f"in {time.perf_counter() - start:.1f}s]")
+    print(summarize(reports))
+    return 0 if all(r.identical for r in reports) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         return run_lint(args)
+    if args.command == "engine-diff":
+        return _run_engine_diff(args)
     if args.command == "list":
         print("experiments:")
         for name, fn in EXPERIMENTS.items():

@@ -19,6 +19,20 @@ from repro.common.errors import ConfigError
 from repro.cache.hierarchy import HierarchyParams
 from repro.cpu.core import CoreParams
 from repro.dram.bank import PageMode
+from repro.engine import ENGINE_NAMES
+
+
+def _default_engine() -> str:
+    """The default execution engine, overridable via ``REPRO_ENGINE``.
+
+    Safe to key behaviour on an environment variable only because the
+    engines are bit-identical by contract: the override changes how
+    fast results arrive, never the results (and ``cache_key`` already
+    excludes the engine for the same reason).
+    """
+    import os
+
+    return os.environ.get("REPRO_ENGINE", "fast")
 
 
 @dataclass(frozen=True)
@@ -60,6 +74,14 @@ class SystemConfig:
     prefetch: bool = False
 
     # --- run control ---
+    #: Execution engine: "fast" (cycle-skipping kernel, the default)
+    #: or "reference" (plain per-cycle loop).  The two are
+    #: bit-identical by contract — see repro.engine and the
+    #: ``repro engine-diff`` oracle that enforces it.  The *default*
+    #: (not an explicit choice) can be overridden with the
+    #: ``REPRO_ENGINE`` environment variable, which is how CI forces
+    #: the whole test suite through either engine.
+    engine: str = field(default_factory=lambda: _default_engine())
     #: Footprint/cache scale divisor (see module docstring).
     scale: int = 8
     #: Committed instructions measured per thread.
@@ -91,6 +113,11 @@ class SystemConfig:
             raise ConfigError(
                 f"controller_model must be request|command, "
                 f"got {self.controller_model!r}"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigError(
+                f"engine must be {'|'.join(ENGINE_NAMES)}, "
+                f"got {self.engine!r}"
             )
         if self.channels < 1:
             raise ConfigError(f"channels must be >= 1, got {self.channels}")
@@ -139,7 +166,10 @@ class SystemConfig:
 
         Used by the runner to cache single-thread baseline runs.
         ``core`` is flattened since dataclasses with dict fields don't
-        hash.
+        hash.  ``engine`` is deliberately *excluded*: the engines are
+        bit-identical by contract (enforced by the engine-diff oracle
+        lane), so a result computed under either engine is valid for
+        both and caches stay shared across engine choices.
         """
         core = dataclasses.asdict(self.core)
         core["latencies"] = tuple(sorted(core["latencies"].items()))

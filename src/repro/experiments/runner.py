@@ -26,6 +26,7 @@ from repro.cpu.core import SMTCore
 from repro.cpu.stats import CoreResult
 from repro.dram.stats import DRAMStats
 from repro.dram.system import MemorySystem
+from repro.engine import core_class
 from repro.experiments.config import SystemConfig
 from repro.experiments.resilience import (
     ResilienceStats,
@@ -148,7 +149,7 @@ def build_system(
         )
         workloads.append((app, stream))
         icache_rngs.append(child_rng(config.seed, f"icache:{app}:{i}"))
-    core = SMTCore(
+    core = core_class(config.engine)(
         config.core,
         event_queue,
         hierarchy,

@@ -283,3 +283,49 @@ class TestInterruptedBatchResume:
         run(["--cache-dir", str(cache_dir), "--resume",
              "--csv", str(resumed_csv)])
         assert resumed_csv.read_bytes() == clean_csv.read_bytes()
+
+    def test_fast_engine_resume_matches_reference_clean_run(self, tmp_path):
+        """Crash-resume under ``--engine fast`` must land byte-identical
+        to an undisturbed ``--engine reference`` run: the resume path
+        mixes cached (pre-crash) results with re-simulated ones, and the
+        cache is shared across engines by the bit-identity contract."""
+        base = [
+            sys.executable, "-m", "repro", "fig10",
+            "--mixes", "2-MEM", "--instructions", "300", "--warmup", "100",
+            "--scale", "32",
+        ]
+        env_base = {"REPRO_MANIFEST_DIR": str(tmp_path / "manifests")}
+
+        def run(extra, *, faulted=False, check=True):
+            env = {**os.environ, **env_base}
+            if faulted:
+                env[FAULT_PLAN_ENV] = str(plan_path)
+            env.setdefault("PYTHONPATH", "src")
+            proc = subprocess.run(
+                base + extra, capture_output=True, text=True, env=env,
+            )
+            if check:
+                assert proc.returncode == 0, proc.stderr
+            return proc
+
+        clean_csv = tmp_path / "clean_reference.csv"
+        run(["--engine", "reference", "--csv", str(clean_csv)])
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(
+            specs=(FaultSpec(kind="exception", rate=0.5, attempt=None),),
+            seed=11,
+        ).write(plan_path)
+        cache_dir = tmp_path / "cache"
+        proc = run(
+            ["--engine", "fast", "--cache-dir", str(cache_dir), "--resume",
+             "--csv", str(tmp_path / "faulted.csv")],
+            faulted=True,
+            check=False,
+        )
+        assert proc.returncode == 3, proc.stdout + proc.stderr
+
+        resumed_csv = tmp_path / "resumed_fast.csv"
+        run(["--engine", "fast", "--cache-dir", str(cache_dir), "--resume",
+             "--csv", str(resumed_csv)])
+        assert resumed_csv.read_bytes() == clean_csv.read_bytes()

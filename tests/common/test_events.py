@@ -64,14 +64,14 @@ class TestScheduling:
 class TestEmptyHeapFastPath:
     def test_empty_queue_advances_now(self):
         q = EventQueue()
-        assert q.run_until(42) == 42
+        assert q.run_until(42) == 0  # nothing fired
         assert q.now == 42
 
     def test_head_beyond_window_advances_now_without_firing(self):
         q = EventQueue()
         fired = []
         q.schedule(100, fired.append, "x")
-        assert q.run_until(50) == 50
+        assert q.run_until(50) == 0
         assert q.now == 50
         assert fired == []
         assert len(q) == 1
@@ -117,13 +117,26 @@ class TestCascading:
 
 class TestNextTime:
     def test_empty_queue_returns_none(self):
-        assert EventQueue().next_time() is None
+        assert EventQueue().peek_time() is None
 
     def test_reports_earliest(self):
         q = EventQueue()
         q.schedule(9, lambda: None)
         q.schedule(4, lambda: None)
-        assert q.next_time() == 4
+        assert q.peek_time() == 4
+
+    def test_next_time_is_an_alias(self):
+        q = EventQueue()
+        q.schedule(7, lambda: None)
+        assert q.next_time() == q.peek_time() == 7
+
+    def test_run_until_counts_fired_events(self):
+        q = EventQueue()
+        for t in (2, 3, 3, 30):
+            q.schedule(t, lambda: None)
+        assert q.run_until(10) == 3
+        assert q.run_until(30) == 1
+        assert q.run_until(40) == 0
 
     def test_run_all_drains_everything(self):
         q = EventQueue()

@@ -24,6 +24,10 @@ class FakeHierarchy:
     def __init__(self, l1_misses=None, l2_misses=None):
         self._l1 = l1_misses or {}
         self._l2 = l2_misses or {}
+        # Mirror MemoryHierarchy's invariant: counts are strictly
+        # positive (zero entries are popped), and the policies read the
+        # map directly on their hot path.
+        self._l2_miss_lines = {t: n for t, n in self._l2.items() if n}
 
     def outstanding_l1_misses(self, tid):
         return self._l1.get(tid, 0)
@@ -37,6 +41,10 @@ class FakeCoreParams:
 
 
 class FakeCore:
+    # Policies read ``core.tracer`` exactly once per ``order`` call
+    # (hot path; None means telemetry off, as on a real SMTCore).
+    tracer = None
+
     def __init__(self, threads, hierarchy=None, int_iq_used=0):
         self.threads = threads
         self.hierarchy = hierarchy or FakeHierarchy()
