@@ -137,11 +137,29 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="crash-safe batch journal path (default with --resume: "
         "<cache-dir>/batch-journal.jsonl)",
     )
+    parser.add_argument(
+        "--remote", default=None, metavar="URL",
+        help="run every simulation on a remote repro service at URL "
+        "(see 'repro serve'); results are bit-identical to local runs",
+    )
+    parser.add_argument(
+        "--remote-store", default=None, metavar="PATH",
+        help="like --remote, discovering the URL from the server.json "
+        "a running 'repro serve --store PATH' advertises there",
+    )
     _add_sanitize_argument(parser)
     _add_manifest_argument(parser)
 
 
 def _make_runner(args: argparse.Namespace) -> Runner:
+    remote = getattr(args, "remote", None)
+    remote_store = getattr(args, "remote_store", None)
+    if remote or remote_store:
+        from repro.service.client import ServiceClient, ServiceRunner
+
+        return ServiceRunner(
+            ServiceClient(url=remote, store_dir=remote_store)
+        )
     jobs = getattr(args, "jobs", 1) or 1
     cache_dir = getattr(args, "cache_dir", None)
     sanitize = getattr(args, "sanitize", False)
@@ -314,6 +332,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(p)
 
+    from repro.service.cli import add_service_parsers
+
+    add_service_parsers(sub)
+
     sub.add_parser("list", help="list experiments and workload mixes")
     return parser
 
@@ -446,6 +468,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         return run_lint(args)
+    from repro.service.cli import SERVICE_COMMANDS, run_service_command
+
+    if args.command in SERVICE_COMMANDS:
+        return run_service_command(args)
     if args.command == "engine-diff":
         return _run_engine_diff(args)
     if args.command == "list":

@@ -25,10 +25,13 @@ the exact serial behaviour, so existing workflows reproduce verbatim.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import logging
 import os
 import pickle
+import sys
+import threading
 import time
 from pathlib import Path
 from typing import Sequence
@@ -58,9 +61,38 @@ STALE_TMP_SECONDS = 3600.0
 CACHE_SCHEMA_VERSION = 2
 
 
+def _interned_strings(dc):
+    """A copy of dataclass ``dc`` with every string field re-interned.
+
+    A config that crossed a process boundary holds fresh (unpickled)
+    string objects, while a locally built one holds compile-time
+    interned literals shared with the simulator internals.  The values
+    are equal either way, but the *object sharing* differs, so pickles
+    of the two results differ byte-wise.  Re-interning in the worker
+    restores the sharing, making pooled cache/store writes
+    byte-identical to serial ones.
+    """
+    changes = {
+        f.name: sys.intern(value)
+        for f in dataclasses.fields(dc)
+        if isinstance(value := getattr(dc, f.name), str)
+    }
+    return dataclasses.replace(dc, **changes) if changes else dc
+
+
+def _worker_job(
+    config: SystemConfig, apps: tuple[str, ...]
+) -> tuple[SystemConfig, tuple[str, ...]]:
+    """Normalize an unpickled job in the worker (see _interned_strings)."""
+    config = _interned_strings(config)
+    if config.core is not None:
+        config = dataclasses.replace(config, core=_interned_strings(config.core))
+    return config, tuple(sys.intern(a) for a in apps)
+
+
 def _simulate(config: SystemConfig, apps: tuple[str, ...]) -> MixResult:
     """Worker entry point (module-level so it pickles across the pool)."""
-    return run_mix(config, apps)
+    return run_mix(*_worker_job(config, apps))
 
 
 def _simulate_with_metrics(
@@ -72,6 +104,7 @@ def _simulate_with_metrics(
     ``MixResult.metrics`` (plain builtins, so it pickles), where the
     owning runner merges snapshots in submission order.
     """
+    config, apps = _worker_job(config, apps)
     return run_mix(config, apps, telemetry=Telemetry())
 
 
@@ -187,17 +220,65 @@ class ResultCache:
 
     def put(
         self, config: SystemConfig, apps: Sequence[str], result: MixResult
-    ) -> None:
-        path = self.path_for(config, apps)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    ) -> bool:
+        """Persist ``result``; returns whether this call published it.
+
+        All writes go through :meth:`publish_path` (atomic first-writer-
+        wins compare-and-publish), so two runners sharing a ``cache_dir``
+        but not an in-process memo cannot race on the same key: each
+        writer stages a privately named temp file and the first
+        hard-link into place wins, the loser discards its
+        (bit-identical) bytes.
+        """
+        return self.publish_path(
+            self.path_for(config, apps),
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def publish_path(self, path: Path, data: bytes) -> bool:
+        """Atomically publish ``data`` at ``path``; first writer wins.
+
+        The temp file is named by pid *and* thread id: two threads of
+        one process (two runners sharing a cache_dir, a scheduler next
+        to an API worker) stage to different files instead of
+        interleaving writes into one.  The staged file is then
+        hard-linked into place — link(2) fails if the name already
+        exists, so of any number of racing writers *exactly one*
+        observes success, with no check-then-act window.  An existing
+        entry is left untouched — every writer of a key produces the
+        same deterministic bytes, so the loser just drops its copy;
+        readers only ever observe a complete entry either way.
+        Returns True when this call installed the entry.
+        """
+        if path.exists():
+            return False
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         with open(tmp, "wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(data)
             # Without the fsync a host crash can surface the rename but
             # not the data, leaving a zero-length entry that passes the
             # atomic-replace contract while holding nothing.
             handle.flush()
             os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        try:
+            os.link(tmp, path)
+            published = True
+        except FileExistsError:
+            published = False
+        except OSError:  # pragma: no cover - fs without hard links
+            # Degrade to replace: content is still atomic and correct,
+            # only the exactly-one-True return is best-effort here.
+            published = not path.exists()
+            if published:
+                os.replace(tmp, path)
+                return True
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - already swept
+            pass
+        return published
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,93 @@
+"""repro.service -- simulation-as-a-service over the experiment engine.
+
+The ROADMAP's serving story, in four pieces that compose with (never
+fork) the existing execution stack:
+
+* :class:`~repro.service.store.ResultStore` -- the persistent
+  :class:`~repro.experiments.parallel.ResultCache` generalized into a
+  content-addressed artifact store: a versioned JSON index with
+  per-entry integrity digests, atomic compare-and-publish writes, and
+  ``stats``/``verify``/``gc`` maintenance.  Same file naming as the
+  cache, so a store opened over any old ``--cache-dir`` serves its
+  results.
+* :class:`~repro.service.scheduler.CampaignScheduler` -- a daemon that
+  accepts jobs and whole figure campaigns (expanded by the *real*
+  drivers via :class:`~repro.service.jobs.PlanningRunner`), dedupes
+  them by cache key with exactly-once semantics, and executes misses
+  through the fault-tolerant batch executor with a crash-safe
+  persisted queue (``--resume`` finishes interrupted campaigns).
+* :mod:`~repro.service.api` -- a stdlib-only threaded HTTP API:
+  ``POST /jobs`` answers stored results on a microsecond warm path (an
+  in-memory LRU; a hit never spawns a simulation) and enqueues genuine
+  misses; results, manifests, campaign progress, health, and
+  Prometheus metrics are all ``GET``-able.
+* :class:`~repro.service.client.ServiceClient` /
+  :class:`~repro.service.client.ServiceRunner` -- a typed client and a
+  drop-in :class:`~repro.experiments.runner.Runner` that make any
+  figure driver run against a remote service transparently
+  (``python -m repro fig10 --remote-store DIR``), bit-identical to a
+  local run.
+
+See ``docs/service.md`` for architecture, endpoints, and the
+exactly-once contract.
+"""
+
+from __future__ import annotations
+
+from repro.service.api import (
+    DEFAULT_LRU_ENTRIES,
+    PayloadLRU,
+    ServiceApp,
+    ServiceServer,
+    make_server,
+)
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceRunner,
+    discover_url,
+    write_server_info,
+)
+from repro.service.jobs import (
+    JobSpec,
+    PlanningRunner,
+    campaign_id,
+    campaign_jobs,
+    campaign_names,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.service.scheduler import CampaignScheduler
+from repro.service.store import (
+    GCReport,
+    ResultStore,
+    StoreStats,
+    VerifyReport,
+    payload_digest,
+)
+
+__all__ = [
+    "CampaignScheduler",
+    "DEFAULT_LRU_ENTRIES",
+    "GCReport",
+    "JobSpec",
+    "PayloadLRU",
+    "PlanningRunner",
+    "ResultStore",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRunner",
+    "ServiceServer",
+    "StoreStats",
+    "VerifyReport",
+    "campaign_id",
+    "campaign_jobs",
+    "campaign_names",
+    "config_from_dict",
+    "config_to_dict",
+    "discover_url",
+    "make_server",
+    "payload_digest",
+    "write_server_info",
+]

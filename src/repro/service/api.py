@@ -1,0 +1,358 @@
+"""Stdlib-only threaded HTTP API over the store and scheduler.
+
+The serving contract the ROADMAP asks for: *millions of readers
+hitting precomputed sweeps never trigger a simulation* — a ``POST
+/jobs`` for a key the store holds is answered on the warm path (an
+in-memory LRU over payload bytes, microseconds, no disk, no
+scheduler); only a genuine miss reaches
+:meth:`~repro.service.scheduler.CampaignScheduler.submit_job`, whose
+lock makes the enqueue exactly-once.
+
+Endpoints (JSON unless noted):
+
+====================================  =====================================
+``GET /healthz``                      liveness + store/queue summary
+``GET /metrics``                      Prometheus text format
+``GET /results/<key>``                result envelope (state, size, sha256)
+``GET /results/<key>/payload``        the pickled MixResult, byte-exact
+``GET /manifests/<run_id>``           provenance record of one run
+``GET /campaigns/<id>``               campaign progress and per-job states
+``POST /jobs``                        submit a job or campaign spec
+====================================  =====================================
+
+``POST /jobs`` bodies: ``{"config": {...}, "apps": ["mcf", ...]}`` for
+one job, or ``{"campaign": {"experiment": "fig10", "mixes": [...],
+"config": {...}}}`` for a whole figure.  Responses carry ``state``
+(``done`` | ``queued`` | ``running`` | ``failed``) and the
+content-addressed ``key`` to fetch.
+
+Payloads are Python pickles (that is what makes the served result
+bit-identical to a local run); bind the server to loopback or a
+trusted network only — see docs/service.md.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.jobs import JobSpec, campaign_names, config_from_dict
+from repro.service.scheduler import CampaignScheduler
+from repro.service.store import payload_digest
+from repro.telemetry import MetricRegistry, prometheus_text
+
+log = logging.getLogger("repro.service.api")
+
+#: Default capacity (entries) of the in-memory warm-path LRU.
+DEFAULT_LRU_ENTRIES = 256
+
+
+class PayloadLRU:
+    """Tiny thread-safe LRU of ``key -> payload bytes``.
+
+    Entries are content-addressed and immutable, so there is no
+    invalidation — only capacity eviction.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_LRU_ENTRIES) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            data = self._entries.get(key)
+            if data is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return data
+
+    def put(self, key: str, data: bytes) -> None:
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            self._entries[key] = data
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class ServiceApp:
+    """The request-handling logic, separate from HTTP plumbing.
+
+    Every handler method returns ``(status, payload)`` where payload
+    is a JSON-safe dict — or raw bytes for the payload endpoint — so
+    the whole surface is unit-testable without a socket.
+    """
+
+    def __init__(
+        self,
+        scheduler: CampaignScheduler,
+        lru_entries: int = DEFAULT_LRU_ENTRIES,
+    ) -> None:
+        self.scheduler = scheduler
+        self.store = scheduler.store
+        self.lru = PayloadLRU(lru_entries)
+        self.registry = MetricRegistry()
+        self._hits_warm = self.registry.counter("service.hits.warm")
+        self._hits_store = self.registry.counter("service.hits.store")
+        self._misses = self.registry.counter("service.misses")
+        self._enqueued = self.registry.counter("service.jobs.enqueued")
+        self._requests = self.registry.counter("service.http.requests")
+        self._errors = self.registry.counter("service.http.errors")
+        self._latency_us = self.registry.histogram("service.latency_us")
+
+    # ------------------------------------------------------------------
+    # payload access (the warm path)
+
+    def payload(self, key: str) -> bytes | None:
+        """Payload bytes for ``key``: LRU first, then the store."""
+        data = self.lru.get(key)
+        if data is not None:
+            self._hits_warm.add()
+            return data
+        data = self.store.get_bytes(key)
+        if data is not None:
+            self._hits_store.add()
+            self.lru.put(key, data)
+        return data
+
+    # ------------------------------------------------------------------
+    # endpoint handlers
+
+    def healthz(self) -> tuple[int, dict]:
+        from repro import __version__
+
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "queue_depth": self.scheduler.queue_depth,
+            "lru_entries": len(self.lru),
+        }
+
+    def metrics(self) -> tuple[int, str]:
+        self.registry.set_gauges(
+            "service",
+            {
+                "queue.depth": float(self.scheduler.queue_depth),
+                "lru.entries": float(len(self.lru)),
+                "store.hits": float(self.store.hits),
+                "store.misses": float(self.store.misses),
+                "store.corrupt": float(self.store.corrupt),
+            },
+        )
+        return 200, prometheus_text(self.registry.snapshot())
+
+    def result_envelope(self, key: str) -> tuple[int, dict]:
+        status = self.scheduler.job_status(key)
+        record = self.store.index_record(key)
+        if status is None and record is None:
+            return 404, {"error": f"unknown result key {key}"}
+        doc = dict(status) if status is not None else {"key": key, "state": "done"}
+        if doc["state"] == "done":
+            if record is None:
+                record = self.store.index_record(key)
+            if record is not None:
+                doc["sha256"] = record["sha256"]
+                doc["size"] = record["size"]
+            doc["payload"] = f"/results/{key}/payload"
+        return 200, doc
+
+    def result_payload(self, key: str) -> tuple[int, bytes | dict]:
+        data = self.payload(key)
+        if data is None:
+            return 404, {"error": f"no stored result for key {key}"}
+        return 200, data
+
+    def manifest(self, rid: str) -> tuple[int, dict]:
+        record = self.scheduler.record_for(rid)
+        if record is None:
+            return 404, {"error": f"unknown run id {rid}"}
+        return 200, record.as_dict()
+
+    def campaign(self, cid: str) -> tuple[int, dict]:
+        status = self.scheduler.campaign_status(cid)
+        if status is None:
+            return 404, {"error": f"unknown campaign {cid}"}
+        return 200, status
+
+    def submit(self, body: dict) -> tuple[int, dict]:
+        if not isinstance(body, dict):
+            return 400, {"error": "body must be a JSON object"}
+        if "campaign" in body:
+            return self._submit_campaign(body["campaign"])
+        return self._submit_job(body)
+
+    def _submit_job(self, body: dict) -> tuple[int, dict]:
+        try:
+            spec = JobSpec.from_dict(body)
+        except (TypeError, ValueError, KeyError) as exc:
+            return 400, {"error": f"bad job spec: {exc}"}
+        key = self.store.key_for(spec.config, spec.apps)
+        # Warm path: a stored result answers without waking the
+        # scheduler — this is what "a hit never spawns a simulation"
+        # means operationally.
+        if self.lru.get(key) is not None or self.store.has(key):
+            self._hits_warm.add()
+            return 200, {
+                "key": key,
+                "run_id": spec.run_id,
+                "state": "done",
+                "source": "warm",
+                "payload": f"/results/{key}/payload",
+            }
+        self._misses.add()
+        status = self.scheduler.submit_job(spec.config, spec.apps)
+        if status["state"] == "queued":
+            self._enqueued.add()
+        return 202 if status["state"] in ("queued", "running") else 200, status
+
+    def _submit_campaign(self, body: dict) -> tuple[int, dict]:
+        if not isinstance(body, dict) or "experiment" not in body:
+            return 400, {
+                "error": "campaign spec needs an 'experiment' name",
+                "known": campaign_names(),
+            }
+        try:
+            config = config_from_dict(body.get("config") or {})
+            status = self.scheduler.submit_campaign(
+                body["experiment"], config, body.get("mixes")
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            return 400, {"error": f"bad campaign spec: {exc}"}
+        return 202 if not status["complete"] else 200, status
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def handle_get(self, path: str) -> tuple[int, dict | str | bytes]:
+        if path == "/healthz":
+            return self.healthz()
+        if path == "/metrics":
+            return self.metrics()
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "results":
+            return self.result_envelope(parts[1])
+        if len(parts) == 3 and parts[0] == "results" and parts[2] == "payload":
+            return self.result_payload(parts[1])
+        if len(parts) == 2 and parts[0] == "manifests":
+            return self.manifest(parts[1])
+        if len(parts) == 2 and parts[0] == "campaigns":
+            return self.campaign(parts[1])
+        return 404, {"error": f"no such endpoint: {path}"}
+
+    def handle_post(self, path: str, body: dict) -> tuple[int, dict]:
+        if path == "/jobs":
+            return self.submit(body)
+        return 404, {"error": f"no such endpoint: {path}"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServiceApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        log.debug("%s " + format, self.address_string(), *args)
+
+    def _respond(self, status: int, payload: dict | str | bytes) -> None:
+        if isinstance(payload, bytes):
+            body = payload
+            content_type = "application/octet-stream"
+            extra = {"X-Payload-SHA256": payload_digest(payload)}
+        elif isinstance(payload, str):
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            extra = {}
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+            content_type = "application/json"
+            extra = {}
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in extra.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _timed(self, fn) -> None:
+        app = self.app
+        app._requests.add()
+        start = time.perf_counter()
+        try:
+            status, payload = fn()
+        except Exception as exc:  # pragma: no cover - defensive surface
+            log.exception("unhandled service error")
+            app._errors.add()
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        app._latency_us.observe(
+            max(0, int((time.perf_counter() - start) * 1e6))
+        )
+        if status >= 400:
+            app._errors.add()
+        self._respond(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._timed(lambda: self.app.handle_get(self.path.split("?", 1)[0]))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        def run() -> tuple[int, dict]:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw.decode() or "{}")
+            except ValueError:
+                return 400, {"error": "body is not valid JSON"}
+            return self.app.handle_post(self.path.split("?", 1)[0], body)
+
+        self._timed(run)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` carrying the :class:`ServiceApp`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], app: ServiceApp) -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    scheduler: CampaignScheduler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    lru_entries: int = DEFAULT_LRU_ENTRIES,
+) -> ServiceServer:
+    """Build a ready-to-``serve_forever`` server (port 0 = ephemeral)."""
+    return ServiceServer((host, port), ServiceApp(scheduler, lru_entries))
+
+
+__all__ = [
+    "DEFAULT_LRU_ENTRIES",
+    "PayloadLRU",
+    "ServiceApp",
+    "ServiceServer",
+    "make_server",
+]

@@ -1,0 +1,317 @@
+"""Typed client for the service API, plus a remote-backed Runner.
+
+:class:`ServiceClient` wraps the HTTP surface with plain methods
+(stdlib ``urllib`` only) and verifies every fetched payload against
+its ``X-Payload-SHA256`` header before unpickling, so a corrupted
+transfer can never masquerade as a result.
+
+:class:`ServiceRunner` is the transparency piece: a drop-in
+:class:`~repro.experiments.runner.Runner` whose simulations happen on
+the service.  Point any existing figure driver (or ``python -m repro
+fig10 --remote-store DIR``) at one and the whole experiment becomes
+submit-poll-fetch — bit-identical to a local run, because the service
+executes the very same deterministic jobs and ships back the very same
+pickled :class:`~repro.experiments.runner.MixResult` bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.runner import MixResult, Runner
+from repro.service.jobs import config_to_dict
+from repro.service.store import payload_digest
+
+#: Where ``repro serve`` advertises its ephemeral URL, relative to the
+#: store directory (see :func:`discover_url`).
+SERVER_INFO = "service/server.json"
+
+
+class ServiceError(RuntimeError):
+    """A service interaction failed (HTTP error, timeout, bad payload)."""
+
+
+def write_server_info(store_dir: str | os.PathLike, url: str) -> Path:
+    """Record a running server's URL under its store (for discovery)."""
+    path = Path(store_dir).expanduser() / SERVER_INFO
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "w") as handle:
+        json.dump({"url": url, "pid": os.getpid()}, handle)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def discover_url(store_dir: str | os.PathLike) -> str:
+    """The URL advertised by the server owning ``store_dir``."""
+    path = Path(store_dir).expanduser() / SERVER_INFO
+    try:
+        with open(path) as handle:
+            return json.load(handle)["url"]
+    except (FileNotFoundError, ValueError, KeyError) as exc:
+        raise ServiceError(
+            f"no running service advertised under {path} "
+            "(start one with: repro serve --store ...)"
+        ) from exc
+
+
+class ServiceClient:
+    """HTTP client for one service endpoint.
+
+    Pass ``url`` directly, or ``store_dir`` to discover the URL a
+    ``repro serve`` process advertised there.
+    """
+
+    def __init__(
+        self,
+        url: str | None = None,
+        store_dir: str | os.PathLike | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if url is None:
+            if store_dir is None:
+                raise ValueError("need url or store_dir")
+            url = discover_url(store_dir)
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+
+    def _request(self, path: str, data: bytes | None = None) -> tuple[bytes, dict]:
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read(), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace").strip()
+            raise ServiceError(
+                f"{path} -> HTTP {exc.code}: {detail or exc.reason}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"{path} -> {exc.reason}") from exc
+
+    def _json(self, path: str, body: dict | None = None) -> dict:
+        data = (
+            json.dumps(body, sort_keys=True).encode()
+            if body is not None else None
+        )
+        raw, _ = self._request(path, data)
+        return json.loads(raw.decode())
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def health(self) -> dict:
+        return self._json("/healthz")
+
+    def metrics(self) -> str:
+        raw, _ = self._request("/metrics")
+        return raw.decode()
+
+    def metric(self, name: str) -> float | None:
+        """One scraped metric value by its Prometheus name, or None."""
+        for line in self.metrics().splitlines():
+            if line.startswith(f"{name} "):
+                return float(line.split()[1])
+        return None
+
+    def submit(self, config: SystemConfig, apps: Sequence[str]) -> dict:
+        return self._json(
+            "/jobs",
+            {"config": config_to_dict(config), "apps": list(apps)},
+        )
+
+    def submit_campaign(
+        self,
+        experiment: str,
+        config: SystemConfig | None = None,
+        mixes: Sequence[str] | None = None,
+    ) -> dict:
+        spec: dict = {"experiment": experiment}
+        if config is not None:
+            spec["config"] = config_to_dict(config)
+        if mixes:
+            spec["mixes"] = list(mixes)
+        return self._json("/jobs", {"campaign": spec})
+
+    def result(self, key: str) -> dict:
+        return self._json(f"/results/{key}")
+
+    def campaign(self, cid: str) -> dict:
+        return self._json(f"/campaigns/{cid}")
+
+    def manifest(self, rid: str) -> dict:
+        return self._json(f"/manifests/{rid}")
+
+    def fetch_bytes(self, key: str) -> bytes:
+        """The stored payload bytes, verified against the digest header."""
+        data, headers = self._request(f"/results/{key}/payload")
+        expected = headers.get("X-Payload-SHA256")
+        if expected and payload_digest(data) != expected:
+            raise ServiceError(
+                f"payload for {key} failed integrity check in transit"
+            )
+        return data
+
+    def fetch(self, key: str) -> MixResult:
+        """The stored :class:`MixResult` under ``key``."""
+        result = pickle.loads(self.fetch_bytes(key))
+        if not isinstance(result, MixResult):
+            raise ServiceError(
+                f"payload for {key} decoded to {type(result).__name__}"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # waiting
+
+    def wait_job(
+        self, key: str, timeout: float = 300.0, poll_s: float = 0.05
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.result(key)
+            if status.get("state") in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {key[:16]} still {status.get('state')!r} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    def wait_campaign(
+        self, cid: str, timeout: float = 600.0, poll_s: float = 0.2
+    ) -> dict:
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.campaign(cid)
+            if status.get("complete"):
+                return status
+            counts = status.get("counts", {})
+            if counts.get("failed") and not (
+                counts.get("queued") or counts.get("running")
+            ):
+                raise ServiceError(
+                    f"campaign {cid} finished with "
+                    f"{counts['failed']} failed job(s)"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"campaign {cid} incomplete after {timeout:.0f}s: {counts}"
+                )
+            time.sleep(poll_s)
+
+    def run(
+        self, config: SystemConfig, apps: Sequence[str],
+        timeout: float = 300.0,
+    ) -> MixResult:
+        """Submit one job, wait for it, fetch the result."""
+        status = self.submit(config, apps)
+        key = status["key"]
+        if status.get("state") != "done":
+            status = self.wait_job(key, timeout=timeout)
+            if status.get("state") != "done":
+                raise ServiceError(
+                    f"job {key[:16]} failed: {status.get('detail', '')}"
+                )
+        return self.fetch(key)
+
+
+class ServiceRunner(Runner):
+    """A :class:`Runner` whose simulations execute on a remote service.
+
+    Keeps the full local memo (so drivers re-reading results pay
+    nothing) and the standard provenance records with ``source:
+    "service"``; everything else — weighted speedups, baselines,
+    figure logic — runs unchanged against remote results.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        baseline_multiplier: int = 3,
+        timeout: float = 600.0,
+        poll_s: float = 0.05,
+    ) -> None:
+        super().__init__(baseline_multiplier=baseline_multiplier)
+        self.client = client
+        self.timeout = timeout
+        self.poll_s = poll_s
+
+    def _cached_run(self, config: SystemConfig, apps: tuple[str, ...]) -> MixResult:
+        key = (config.cache_key(), apps)
+        result = self._results.get(key)
+        if result is not None:
+            self._record(config, apps, "memo")
+            return result
+        start = time.perf_counter()
+        result = self.client.run(config, apps, timeout=self.timeout)
+        self._results[key] = result
+        self._record(config, apps, "service", time.perf_counter() - start)
+        return result
+
+    def run_many(self, jobs: Sequence) -> list[MixResult]:
+        """Submit the whole batch up front, then wait and fetch.
+
+        Submission order is preserved and results are collected by
+        job index, so the output is deterministic and identical to the
+        serial path.
+        """
+        normalized = [(config, tuple(apps)) for config, apps in jobs]
+        start = time.perf_counter()
+        tickets: dict[tuple, str] = {}
+        for config, apps in normalized:
+            memo_key = (config.cache_key(), apps)
+            if memo_key in self._results or memo_key in tickets:
+                continue
+            tickets[memo_key] = self.client.submit(config, apps)["key"]
+        deadline = time.monotonic() + self.timeout
+        for (config, apps) in normalized:
+            memo_key = (config.cache_key(), apps)
+            if memo_key in self._results:
+                self._record(config, apps, "memo")
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            status = self.client.wait_job(
+                tickets[memo_key], timeout=remaining, poll_s=self.poll_s
+            )
+            if status.get("state") != "done":
+                raise ServiceError(
+                    f"job {tickets[memo_key][:16]} failed: "
+                    f"{status.get('detail', '')}"
+                )
+            self._results[memo_key] = self.client.fetch(tickets[memo_key])
+            self._record(
+                config, apps, "service",
+                (time.perf_counter() - start) / max(1, len(tickets)),
+            )
+        return [
+            self._results[(config.cache_key(), apps)]
+            for config, apps in normalized
+        ]
+
+
+__all__ = [
+    "SERVER_INFO",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRunner",
+    "discover_url",
+    "write_server_info",
+]

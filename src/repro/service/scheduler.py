@@ -1,0 +1,448 @@
+"""Campaign scheduler: the daemon half of simulation-as-a-service.
+
+:class:`CampaignScheduler` accepts job specs — single ``(config,
+apps)`` simulations or whole figure/ablation campaigns expanded by
+:func:`~repro.service.jobs.campaign_jobs` — and drives them to
+completion against a shared :class:`~repro.service.store.ResultStore`.
+
+Design:
+
+* **Exactly-once enqueue.**  Submission is keyed by the store's
+  content-addressed key and serialized under one lock: a key already
+  present in the store answers ``done`` without touching the queue; a
+  key already queued or running answers with the existing ticket; only
+  a genuinely new key appends a queue record.  N concurrent cache
+  misses for the same key therefore enqueue one job, and its journal
+  carries exactly one ``complete`` line.
+* **Deterministic, persisted queue.**  Every enqueue appends an
+  fsynced JSONL record (the full job spec, so the queue is
+  self-contained) to ``service/queue.jsonl``; the worker drains in
+  submission order.  On ``resume=True`` the queue is reloaded, jobs
+  whose key is already in the store are registered as done, and the
+  rest re-queue in their original order — the scheduler process can be
+  killed at any instant and restarted without losing or duplicating
+  work.
+* **The worker contract is the resilience layer.**  Batches execute
+  through :func:`~repro.experiments.parallel.run_many` with the
+  store as cache, a :class:`~repro.experiments.resilience.RetryPolicy`
+  and a crash-safe :class:`~repro.experiments.resilience.BatchJournal`
+  — timeouts, bounded retries, pool rebuilds, and journal-backed
+  resume all come for free, and results are bit-identical to a local
+  ``run_many`` of the same job list because they *are* the same code
+  path.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Sequence
+
+from repro.common.errors import JobFailureError
+from repro.experiments.config import SystemConfig
+from repro.experiments.parallel import run_many
+from repro.experiments.resilience import (
+    BatchJournal,
+    ResilienceStats,
+    RetryPolicy,
+)
+from repro.service.jobs import JobSpec, campaign_id, campaign_jobs
+from repro.service.store import ResultStore
+from repro.telemetry.manifest import RunManifest, RunRecord
+
+log = logging.getLogger("repro.service.scheduler")
+
+#: Queue document schema version.
+QUEUE_SCHEMA = 1
+
+#: Job lifecycle states reported by the scheduler and the API.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class _Job:
+    """Scheduler-side state of one deduplicated job."""
+
+    __slots__ = ("spec", "key", "state", "detail", "source", "wall_s")
+
+    def __init__(self, spec: JobSpec, key: str) -> None:
+        self.spec = spec
+        self.key = key
+        self.state = "queued"
+        self.detail = ""
+        self.source = ""
+        self.wall_s = 0.0
+
+    def status(self) -> dict:
+        doc = {
+            "key": self.key,
+            "run_id": self.spec.run_id,
+            "state": self.state,
+            "apps": list(self.spec.apps),
+        }
+        if self.source:
+            doc["source"] = self.source
+        if self.detail:
+            doc["detail"] = self.detail
+        return doc
+
+
+class CampaignScheduler:
+    """Owns the queue, the worker loop, and campaign bookkeeping.
+
+    Parameters
+    ----------
+    store:
+        The shared result store (also used as the workers' cache).
+    workers:
+        Process-pool width for batch execution; ``1`` runs batches
+        serially inside the scheduler thread.
+    policy:
+        Fault-tolerance policy for the workers (default: fail fast).
+    resume:
+        Reload ``service/queue.jsonl`` + ``campaigns.json`` and
+        continue an interrupted deployment instead of starting fresh.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        policy: RetryPolicy | None = None,
+        resume: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store
+        self.workers = workers
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.service_dir = store.cache_dir / "service"
+        self.service_dir.mkdir(parents=True, exist_ok=True)
+        self.queue_path = self.service_dir / "queue.jsonl"
+        self.campaigns_path = self.service_dir / "campaigns.json"
+        self.journal = BatchJournal(
+            self.service_dir / "journal.jsonl", resume=resume
+        )
+        self.stats = ResilienceStats()
+        self._cond = threading.Condition(threading.RLock())
+        self._jobs: dict[str, _Job] = {}
+        self._queue: deque[str] = deque()
+        self._campaigns: dict[str, dict] = {}
+        self._records: dict[str, RunRecord] = {}
+        self._memo: dict[tuple, object] = {}
+        self._thread: threading.Thread | None = None
+        self._stop = False
+        #: Completed-batch counter (diagnostics / tests).
+        self.batches = 0
+        if resume:
+            self._load()
+        else:
+            # A fresh deployment truncates the previous queue/campaigns
+            # (mirroring BatchJournal's fresh-start semantics).
+            self._queue_handle = open(self.queue_path, "w")
+            self._write_queue_line({"event": "queue-start", "schema": QUEUE_SCHEMA})
+            self._save_campaigns()
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def _write_queue_line(self, record: dict) -> None:
+        self._queue_handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._queue_handle.flush()
+        os.fsync(self._queue_handle.fileno())
+
+    def _load(self) -> None:
+        enqueued: list[tuple[str, JobSpec]] = []
+        if self.queue_path.exists():
+            with open(self.queue_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        if record.get("event") != "enqueue":
+                            continue
+                        spec = JobSpec.from_dict(record["job"])
+                    except (KeyError, ValueError):
+                        # A torn final line from the interrupted run.
+                        continue
+                    enqueued.append((record["key"], spec))
+        self._queue_handle = open(self.queue_path, "a")
+        for key, spec in enqueued:
+            if key in self._jobs:
+                continue
+            job = _Job(spec, key)
+            self._jobs[key] = job
+            if self.store.has(key):
+                self._finish(job, "store")
+            else:
+                self._queue.append(key)
+        try:
+            with open(self.campaigns_path) as handle:
+                doc = json.load(handle)
+            self._campaigns = doc.get("campaigns", {})
+        except (FileNotFoundError, ValueError):
+            self._campaigns = {}
+        if self._queue:
+            log.info(
+                "resumed queue: %d job(s) pending, %d already complete",
+                len(self._queue),
+                sum(1 for j in self._jobs.values() if j.state == "done"),
+            )
+
+    def _save_campaigns(self) -> None:
+        doc = {"schema": QUEUE_SCHEMA, "campaigns": self._campaigns}
+        tmp = self.campaigns_path.with_name(
+            f"{self.campaigns_path.name}.{os.getpid()}.tmp"
+        )
+        with open(tmp, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.campaigns_path)
+
+    # ------------------------------------------------------------------
+    # submission (exactly-once)
+
+    def _finish(self, job: _Job, source: str, wall_s: float = 0.0) -> None:
+        job.state = "done"
+        job.source = source
+        job.wall_s = wall_s
+        rid = job.spec.run_id
+        if rid not in self._records:
+            self._records[rid] = RunRecord.from_run(
+                job.spec.config, job.spec.apps,
+                source=source, wall_time_s=wall_s,
+            )
+
+    def submit_job(self, config: SystemConfig, apps: Sequence[str]) -> dict:
+        """Submit one job; returns its status ticket.
+
+        The whole check-then-enqueue sequence holds the scheduler lock,
+        which is what makes the enqueue exactly-once under concurrent
+        submissions of the same key.
+        """
+        spec = JobSpec.of(config, apps)
+        key = self.store.key_for(config, spec.apps)
+        with self._cond:
+            job = self._jobs.get(key)
+            if job is not None and job.state in ("queued", "running", "done"):
+                return job.status()
+            if job is None and self.store.has(key):
+                job = _Job(spec, key)
+                self._jobs[key] = job
+                self._finish(job, "store")
+                return job.status()
+            # New key, or an explicit resubmission of a failed job.
+            if job is None:
+                job = _Job(spec, key)
+                self._jobs[key] = job
+            job.state = "queued"
+            job.detail = ""
+            self._write_queue_line(
+                {
+                    "event": "enqueue",
+                    "key": key,
+                    "run": spec.run_id,
+                    "job": spec.to_dict(),
+                }
+            )
+            self._queue.append(key)
+            self._cond.notify_all()
+            return job.status()
+
+    def submit_campaign(
+        self,
+        experiment: str,
+        config: SystemConfig | None = None,
+        mixes: Sequence[str] | None = None,
+    ) -> dict:
+        """Expand a figure/ablation into jobs and submit them all."""
+        jobs = campaign_jobs(experiment, config, mixes)
+        cid = campaign_id(experiment, jobs)
+        keys = [self.store.key_for(c, a) for c, a in jobs]
+        with self._cond:
+            if cid not in self._campaigns:
+                self._campaigns[cid] = {
+                    "experiment": experiment,
+                    "mixes": list(mixes) if mixes else None,
+                    "keys": keys,
+                }
+                self._save_campaigns()
+            for job_config, apps in jobs:
+                self.submit_job(job_config, apps)
+        return self.campaign_status(cid)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def job_status(self, key: str) -> dict | None:
+        with self._cond:
+            job = self._jobs.get(key)
+            if job is not None:
+                return job.status()
+        if self.store.has(key):
+            return {"key": key, "state": "done", "source": "store"}
+        return None
+
+    def campaign_status(self, cid: str) -> dict | None:
+        with self._cond:
+            campaign = self._campaigns.get(cid)
+            if campaign is None:
+                return None
+            states = {}
+            for key in campaign["keys"]:
+                job = self._jobs.get(key)
+                if job is not None:
+                    states[key] = job.state
+                else:
+                    states[key] = "done" if self.store.has(key) else "unknown"
+        counts = {state: 0 for state in (*JOB_STATES, "unknown")}
+        for state in states.values():
+            counts[state] += 1
+        return {
+            "campaign": cid,
+            "experiment": campaign["experiment"],
+            "mixes": campaign["mixes"],
+            "jobs": len(campaign["keys"]),
+            "counts": {k: v for k, v in counts.items() if v},
+            "complete": counts["done"] == len(campaign["keys"]),
+            "states": states,
+        }
+
+    def campaigns(self) -> dict[str, dict]:
+        with self._cond:
+            return {cid: dict(c) for cid, c in self._campaigns.items()}
+
+    def record_for(self, rid: str) -> RunRecord | None:
+        with self._cond:
+            return self._records.get(rid)
+
+    def manifest(self) -> RunManifest:
+        """Provenance manifest of everything this scheduler has served."""
+        with self._cond:
+            records = list(self._records.values())
+        extra = {}
+        if self.stats.eventful:
+            extra["resilience"] = self.stats.as_dict()
+        return RunManifest(
+            records=records,
+            workers=self.workers,
+            wall_time_s=sum(r.wall_time_s for r in records),
+            extra=extra,
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue) + sum(
+                1 for j in self._jobs.values() if j.state == "running"
+            )
+
+    # ------------------------------------------------------------------
+    # the worker loop
+
+    def _run_batch(self, keys: list[str]) -> None:
+        jobs = [
+            (self._jobs[key].spec.config, self._jobs[key].spec.apps)
+            for key in keys
+        ]
+        start = time.perf_counter()
+        try:
+            run_many(
+                jobs,
+                parallelism=self.workers,
+                cache=self.store,
+                memo=self._memo,
+                policy=self.policy,
+                journal=self.journal,
+                stats=self.stats,
+            )
+        except JobFailureError as exc:
+            detail = str(exc)
+            with self._cond:
+                for key in keys:
+                    job = self._jobs[key]
+                    if self.store.has(key):
+                        self._finish(job, "service")
+                    else:
+                        job.state = "failed"
+                        job.detail = detail
+            log.warning("batch of %d job(s) aborted: %s", len(keys), detail)
+            return
+        wall = time.perf_counter() - start
+        per_job = wall / len(keys) if keys else 0.0
+        with self._cond:
+            for key in keys:
+                self._finish(self._jobs[key], "service", per_job)
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait(0.5)
+                if self._stop and not self._queue:
+                    return
+                keys = list(self._queue)
+                self._queue.clear()
+                for key in keys:
+                    self._jobs[key].state = "running"
+            self._run_batch(keys)
+            with self._cond:
+                self.batches += 1
+                self._cond.notify_all()
+
+    def start(self) -> "CampaignScheduler":
+        if self._thread is None:
+            self._stop = False
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-scheduler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        self.journal.close()
+        if not self._queue_handle.closed:
+            self._queue_handle.close()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until nothing is queued or running; True on success."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while True:
+                busy = bool(self._queue) or any(
+                    j.state in ("queued", "running")
+                    for j in self._jobs.values()
+                )
+                if not busy:
+                    return True
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining if remaining is not None else 0.5)
+
+    def __enter__(self) -> "CampaignScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = ["JOB_STATES", "QUEUE_SCHEMA", "CampaignScheduler"]

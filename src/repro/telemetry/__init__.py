@@ -47,6 +47,7 @@ from repro.telemetry.registry import (
     MetricRegistry,
     NullRegistry,
     Series,
+    prometheus_text,
 )
 from repro.telemetry.tracer import (
     EventTracer,
@@ -104,6 +105,7 @@ __all__ = [
     "config_hash",
     "default_manifest_dir",
     "load_jsonl",
+    "prometheus_text",
     "run_id",
     "validate_chrome_trace",
 ]

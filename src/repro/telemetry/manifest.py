@@ -65,6 +65,10 @@ class RunRecord:
     source: str = "simulated"
     wall_time_s: float = 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-safe view of this record (what the service API serves)."""
+        return asdict(self)
+
     @classmethod
     def from_run(
         cls, config, apps: Sequence[str],

@@ -299,3 +299,45 @@ class NullRegistry(MetricRegistry):
 
 #: Shared disabled registry (stateless, safe to share everywhere).
 NULL_REGISTRY = NullRegistry()
+
+
+def _prometheus_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus grammar."""
+    return "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name
+    )
+
+
+def prometheus_text(snapshot: Mapping, prefix: str = "repro") -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    Counters and gauges map directly; log2 histograms become native
+    Prometheus histograms — bin ``b`` holds values with
+    ``bit_length() == b``, i.e. everything ``<= 2**b - 1`` once
+    cumulated, which is exactly the ``le`` bucket contract — plus the
+    standard ``_sum``/``_count`` series.  Series are omitted (they are
+    trace data, not scrape data).  Output is sorted, so identical
+    snapshots scrape identically.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = f"{prefix}_{_prometheus_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = f"{prefix}_{_prometheus_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {snapshot['gauges'][name]}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = f"{prefix}_{_prometheus_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for b in sorted(int(k) for k in hist["bins"]):
+            cumulative += hist["bins"][b] if b in hist["bins"] else hist["bins"][str(b)]
+            le = (1 << b) - 1
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {hist['total']}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n" if lines else ""

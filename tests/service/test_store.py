@@ -1,0 +1,200 @@
+"""Tests for the content-addressed ResultStore (and the cache CAS fix)."""
+
+import pickle
+import threading
+
+from repro.experiments.parallel import ResultCache
+from repro.experiments.runner import run_mix
+from repro.service.store import ResultStore, payload_digest
+
+
+def _payload(config, apps=("gzip",)):
+    return pickle.dumps(
+        run_mix(config, apps), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+class TestKeys:
+    def test_key_matches_cache_file_naming(self, tiny_config, tmp_path):
+        """A store over an old --cache-dir serves old cache entries."""
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        assert store.path_for_key(key) == ResultCache(tmp_path).path_for(
+            tiny_config, ("gzip",)
+        )
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "../escape", "ABCDEF", "deadbeef/../../x"):
+            try:
+                store.path_for_key(bad)
+            except ValueError:
+                continue
+            raise AssertionError(f"malformed key accepted: {bad!r}")
+
+
+class TestPublish:
+    def test_first_writer_wins(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        data = _payload(tiny_config)
+        assert store.publish(key, data) is True
+        assert store.publish(key, data) is False
+        assert store.get_bytes(key) == data
+
+    def test_put_returns_publish_outcome(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path)
+        result = run_mix(tiny_config, ("gzip",))
+        assert store.put(tiny_config, ("gzip",), result) is True
+        assert store.put(tiny_config, ("gzip",), result) is False
+
+    def test_concurrent_writers_single_entry(self, tiny_config, tmp_path):
+        """Regression: two runners sharing a cache dir race on one key.
+
+        Before compare-and-publish, both writers staged to the *same*
+        pid-named temp file; interleaved writes could tear it.  Now
+        each stages privately and exactly one hard-link publishes
+        (link(2) fails on an existing name, so there is no
+        check-then-act window).
+        """
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        data = _payload(tiny_config)
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def writer():
+            barrier.wait()
+            outcomes.append(store.publish(key, data))
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(outcomes) == 1  # exactly one publish succeeded
+        assert store.get_bytes(key) == data
+        assert not list(tmp_path.glob("*.tmp"))  # losers cleaned up
+
+    def test_concurrent_cache_writers_two_instances(
+        self, tiny_config, tmp_path
+    ):
+        """Two independent ResultCache objects over one directory."""
+        a, b = ResultCache(tmp_path), ResultCache(tmp_path)
+        result = run_mix(tiny_config, ("gzip",))
+        outcomes = []
+        barrier = threading.Barrier(2)
+
+        def writer(cache):
+            barrier.wait()
+            outcomes.append(cache.put(tiny_config, ("gzip",), result))
+
+        threads = [
+            threading.Thread(target=writer, args=(c,)) for c in (a, b)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(outcomes) == 1
+        loaded = ResultCache(tmp_path).get(tiny_config, ("gzip",))
+        assert loaded is not None and loaded.ipcs == result.ipcs
+
+
+class TestIntegrity:
+    def test_index_written_and_verified(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        data = _payload(tiny_config)
+        store.publish(key, data)
+        record = store.index_record(key)
+        assert record == {"sha256": payload_digest(data), "size": len(data)}
+        report = store.verify()
+        assert report.clean and report.ok == 1
+
+    def test_tampered_entry_quarantined(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        store.publish(key, _payload(tiny_config))
+        store.path_for_key(key).write_bytes(b"flipped bits")
+        assert store.get_bytes(key) is None  # digest mismatch -> miss
+        assert store.corrupt == 1
+        assert store.index_record(key) is None  # de-indexed
+        assert (store.quarantine_dir / f"{key}.pkl").exists()
+
+    def test_unindexed_cache_entry_healed(self, tiny_config, tmp_path):
+        """Entries written by a plain ResultCache get indexed on read."""
+        cache = ResultCache(tmp_path)
+        result = run_mix(tiny_config, ("gzip",))
+        cache.put(tiny_config, ("gzip",), result)
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        assert store.index_record(key) is None
+        loaded = store.get_by_key(key)
+        assert loaded is not None and loaded.ipcs == result.ipcs
+        assert store.index_record(key) is not None
+
+    def test_unindexed_garbage_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" * 32
+        store.path_for_key(key).write_bytes(b"not a pickle")
+        assert store.get_bytes(key) is None
+        assert store.corrupt == 1
+
+    def test_verify_heals_and_reports_missing(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        data = _payload(tiny_config)
+        store.publish(key, data)
+        # Foreign (unindexed) entry from a plain cache writer.
+        other = tiny_config.with_(scheduler="fcfs")
+        ResultCache(tmp_path).put(other, ("gzip",), run_mix(other, ("gzip",)))
+        # Indexed entry whose file vanished.
+        ghost = "cd" * 32
+        store._entries[ghost] = {"sha256": "0" * 64, "size": 1}
+        report = store.verify()
+        assert report.ok == 1 and report.healed == 1
+        assert report.missing == [ghost]
+        assert not report.clean
+        assert store.verify().clean  # second pass: everything indexed
+
+    def test_reindex_rebuilds_from_payloads(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(tiny_config, ("gzip",), run_mix(tiny_config, ("gzip",)))
+        store.index_path.unlink()
+        fresh = ResultStore(tmp_path)
+        assert fresh.index_record(store.key_for(tiny_config, ("gzip",))) is None
+        assert fresh.reindex() == 1
+        assert fresh.verify().clean
+
+
+class TestMaintenance:
+    def test_stats(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path)
+        data = _payload(tiny_config)
+        store.publish(store.key_for(tiny_config, ("gzip",)), data)
+        stats = store.stats()
+        assert stats.entries == 1 and stats.indexed == 1
+        assert stats.bytes == len(data)
+        assert stats.quarantined == 0 and stats.stale_tmp == 0
+
+    def test_gc_drains_quarantine_and_prunes(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        store.publish(key, _payload(tiny_config))
+        store.path_for_key(key).write_bytes(b"junk")
+        assert store.get_bytes(key) is None  # quarantines + removes file
+        (tmp_path / "leftover.pkl.123.456.tmp").write_bytes(b"")
+        report = store.gc()
+        assert report.quarantined_removed == 1
+        assert report.tmp_removed == 1
+        assert report.index_pruned == 0  # de-indexed at quarantine time
+        assert store.stats().quarantined == 0
+
+    def test_gc_prunes_orphan_index_rows(self, tiny_config, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        store.publish(key, _payload(tiny_config))
+        store.path_for_key(key).unlink()  # vanished outside the store
+        assert store.gc().index_pruned == 1
+        assert store.index_record(key) is None
