@@ -1,6 +1,6 @@
-"""Speedup of the fast engine over the reference engine.
+"""Speedup of the fast (and sampled) engines over the reference.
 
-Measures ``run_mix`` under both engines on the figure-10 mixes and
+Measures ``run_mix`` under all three engines on the figure-10 mixes and
 (optionally) the full figure-10 sweep, and reports *ratios* — the
 committed ``BENCH_engine.json`` snapshot is machine-normalized: raw
 seconds are recorded for provenance only, the speedup ratios are the
@@ -65,9 +65,9 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def _measure_pair(ref_fn, fast_fn, repeats: int) -> dict:
-    """Interleave single-sample measurements of both engines."""
-    ref_best = fast_best = float("inf")
+def _measure_pair(ref_fn, fast_fn, repeats: int, sampled_fn=None) -> dict:
+    """Interleave single-sample measurements of the engines."""
+    ref_best = fast_best = sampled_best = float("inf")
     for _ in range(repeats):
         t0 = time.process_time()
         ref_fn()
@@ -75,11 +75,19 @@ def _measure_pair(ref_fn, fast_fn, repeats: int) -> dict:
         t0 = time.process_time()
         fast_fn()
         fast_best = min(fast_best, time.process_time() - t0)
-    return {
+        if sampled_fn is not None:
+            t0 = time.process_time()
+            sampled_fn()
+            sampled_best = min(sampled_best, time.process_time() - t0)
+    stats = {
         "ref_s": round(ref_best, 3),
         "fast_s": round(fast_best, 3),
         "speedup": round(ref_best / fast_best, 3),
     }
+    if sampled_fn is not None:
+        stats["sampled_s"] = round(sampled_best, 3)
+        stats["sampled_speedup"] = round(ref_best / sampled_best, 3)
+    return stats
 
 
 def run_bench(
@@ -93,10 +101,17 @@ def run_bench(
         apps = MIXES[mix].apps
         ref_cfg = _config(budget, "reference")
         fast_cfg = _config(budget, "fast")
+        sampled_cfg = _config(budget, "sampled")
+        # At this tiny budget the sampled engine degenerates to nearly
+        # all-detailed windows, so its ratio tracks the fast engine's;
+        # BENCH_sampling.json measures it at a budget where fast-forward
+        # regions dominate.  Recorded here so all three engines share
+        # one table.
         cases[f"mix_{mix}"] = _measure_pair(
             lambda: run_mix(ref_cfg, apps),
             lambda: run_mix(fast_cfg, apps),
             repeats,
+            sampled_fn=lambda: run_mix(sampled_cfg, apps),
         )
     if full_fig10:
         # Fresh Runner per run: the result cache deliberately ignores
@@ -123,10 +138,16 @@ def _report(stats: dict) -> str:
         f"instructions/thread (best of {stats['repeats']}):"
     ]
     for name, c in stats["cases"].items():
-        lines.append(
+        line = (
             f"  {name:<18} ref {c['ref_s'] * 1e3:7.0f}ms   "
             f"fast {c['fast_s'] * 1e3:7.0f}ms   x{c['speedup']:.2f}"
         )
+        if "sampled_s" in c:
+            line += (
+                f"   sampled {c['sampled_s'] * 1e3:7.0f}ms"
+                f"   x{c['sampled_speedup']:.2f}"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -140,6 +140,10 @@ def run_bench(samples: int = _SAMPLES, threads: int = _THREADS) -> dict:
     return {
         "samples": samples,
         "threads": threads,
+        # Engine label: the simulation_s baseline (and hence the
+        # warm_vs_simulation ratio) is engine-dependent; snapshots
+        # taken under different engines must not be diffed.
+        "engine": config.engine,
         "timer": "perf_counter, median of N; healthz-normalized ratios",
         "raw": {
             "healthz_us": round(healthz_us, 1),

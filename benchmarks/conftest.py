@@ -11,18 +11,37 @@ Set ``REPRO_BENCH_INSTRUCTIONS`` to raise the budget for
 higher-fidelity runs, e.g.::
 
     REPRO_BENCH_INSTRUCTIONS=20000 pytest benchmarks/ --benchmark-only -s
+
+``REPRO_BENCH_ENGINE`` selects the execution engine the figures run
+under (default: the exact ``fast`` engine).  Every committed ``BENCH_*``
+snapshot records the engine(s) it was measured with: numbers taken
+under different engines are not comparable — exact engines differ only
+in wall time, but ``sampled`` produces estimates — so regression
+tooling must refuse to diff snapshots whose engine labels disagree.
 """
 
 import os
 
 import pytest
 
+from repro.engine import ENGINE_NAMES
 from repro.experiments.config import SystemConfig
 from repro.experiments.runner import Runner
 
 
 def _budget() -> int:
     return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "2500"))
+
+
+def bench_engine() -> str:
+    """The engine label every benchmark in this session measures under."""
+    engine = os.environ.get("REPRO_BENCH_ENGINE", "fast")
+    if engine not in ENGINE_NAMES:
+        raise ValueError(
+            f"REPRO_BENCH_ENGINE={engine!r}: choose from "
+            f"{', '.join(sorted(ENGINE_NAMES))}"
+        )
+    return engine
 
 
 @pytest.fixture(scope="session")
@@ -32,6 +51,7 @@ def bench_config() -> SystemConfig:
         instructions_per_thread=_budget(),
         warmup_instructions=max(200, _budget() // 4),
         seed=2005,  # HPCA 2005
+        engine=bench_engine(),
     )
 
 

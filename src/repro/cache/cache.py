@@ -91,6 +91,33 @@ class SetAssocCache:
         entries.append([tag, write])
         return AccessResult(False, writeback)
 
+    def touch(self, line_addr: int, write: bool = False) -> AccessResult:
+        """Functional warming: :meth:`access` without statistics.
+
+        Same LRU movement, allocation, and write-back surfacing as
+        ``access`` so warmed contents are exactly what a timed access
+        would have left behind -- but the hit/miss counters are not
+        recorded, keeping measured-window hit rates uncontaminated.
+        Used by the sampled engine's fast-forward path.
+        """
+        index = self.set_index(line_addr)
+        tag = line_addr // self.num_sets
+        entries = self._sets[index]
+        for i, entry in enumerate(entries):
+            if entry[0] == tag:
+                del entries[i]
+                entries.append(entry)
+                if write:
+                    entry[1] = True
+                return AccessResult(True, None)
+        writeback = None
+        if len(entries) >= self.assoc:
+            victim_tag, victim_dirty = entries.pop(0)
+            if victim_dirty:
+                writeback = victim_tag * self.num_sets + index
+        entries.append([tag, write])
+        return AccessResult(False, writeback)
+
     def mark_dirty_if_present(self, line_addr: int) -> bool:
         """Absorb a write-back from an upper level without allocating.
 

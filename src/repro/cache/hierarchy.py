@@ -293,6 +293,56 @@ class MemoryHierarchy:
         return done
 
     # ------------------------------------------------------------------
+    # functional warming (sampled engine's fast-forward path)
+
+    def warm_access(self, addr: int, thread_id: int, write: bool = False) -> bool:
+        """Advance cache/TLB/row-buffer state for one access, timelessly.
+
+        Walks the same TLB -> translate -> L1D -> L2 -> L3 -> DRAM-row
+        path as :meth:`load`/:meth:`store`, using the stat-less
+        ``touch`` variants, so the warmed contents after a fast-forward
+        region are what timed accesses would have built.  Returns
+        whether the access missed all cache levels and reached DRAM —
+        the sampled engine uses the per-region miss counts as the
+        covariate of its gap-CPI predictor.  Differences from the timed
+        path, by design:
+
+        * no statistics, no events, no MSHR allocation -- lines already
+          pending in the MSHR (left over from the previous detailed
+          window) are skipped, exactly as a merged miss would be;
+        * the whole miss path resolves instantly (simulated time does
+          not advance during fast-forward);
+        * L3 write-backs are dropped instead of queued to DRAM -- only
+          the victim bank's row buffer would change, and the row state
+          is warmed by the demand stream anyway.
+        """
+        self.dtlb.touch(addr)
+        if self.translator is not None:
+            addr = self.translator.translate(thread_id, addr)
+        if self.params.perfect_l1:
+            return False
+        line = addr // self.params.line_bytes
+        if self.mshr.pending(line):
+            if write:
+                self.l1d.mark_dirty_if_present(line)
+            return False
+        hit, writeback = self.l1d.touch(line, write=write)
+        if writeback is not None:
+            self.l2.mark_dirty_if_present(writeback)
+        if hit or self.params.perfect_l2:
+            return False
+        hit, writeback = self.l2.touch(line)
+        if writeback is not None:
+            self.l3.mark_dirty_if_present(writeback)
+        if hit or self.params.perfect_l3:
+            return False
+        hit, _writeback = self.l3.touch(line)  # dirty victims dropped
+        if hit:
+            return False
+        self.memory.warm_line(line)
+        return True
+
+    # ------------------------------------------------------------------
     # miss path (event-driven)
 
     def _probe_l2(

@@ -50,6 +50,22 @@ class TLB:
             pages.popitem(last=False)
         return self.miss_penalty
 
+    def touch(self, addr: int) -> None:
+        """Functional warming: :meth:`access` without stats or penalty.
+
+        Same LRU movement and refill, so the resident set after a
+        fast-forward region matches what timed accesses would have
+        built; used by the sampled engine.
+        """
+        page = addr // self.page_bytes
+        pages = self._pages
+        if page in pages:
+            pages.move_to_end(page)
+            return
+        pages[page] = None
+        if len(pages) > self.entries:
+            pages.popitem(last=False)
+
     @property
     def resident(self) -> int:
         return len(self._pages)

@@ -290,10 +290,17 @@ class SMTCore:
     # ------------------------------------------------------------------
     # phase loop
 
+    #: Optional per-thread commit targets for the next phase (the
+    #: sampled engine measures each thread's exact budget-crossing
+    #: cycle with these); None — the normal case — gives every thread
+    #: the phase's shared target.
+    _target_override: list[int] | None = None
+
     def _run_phase(self, per_thread_target: int, max_cycles: int) -> None:
-        for t in self.threads:
+        override = self._target_override
+        for i, t in enumerate(self.threads):
             t.warmup_committed = t.committed
-            t.target = per_thread_target
+            t.target = per_thread_target if override is None else override[i]
             t.finish_cycle = None
         self._unfinished = len(self.threads)
         deadline = self.cycle + max_cycles

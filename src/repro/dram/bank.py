@@ -56,12 +56,8 @@ class Bank:
 
     def service_latency(self, row: int, page_mode: PageMode, timing: DRAMTiming) -> int:
         """Command latency (before the data burst) to access ``row``."""
-        kind = self.classify(row, page_mode)
-        if kind == "hit":
-            return timing.hit_latency
-        if kind == "closed":
-            return timing.closed_latency
-        return timing.conflict_latency
+        table = timing.service_latency_table(page_mode is PageMode.OPEN)
+        return table[self.classify(row, page_mode)]
 
     def serve(
         self,

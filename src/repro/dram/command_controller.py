@@ -152,6 +152,15 @@ class CommandChannelController:
     def is_row_hit(self, request: MemRequest) -> bool:
         return self.banks[request.bank].open_row == request.row
 
+    def warm_row(self, bank: int, row: int) -> None:
+        """Functional warming of the row buffer (sampled fast-forward).
+
+        Mirrors :meth:`ChannelController.warm_row`: state only, no
+        timing/stats; no-op under the close page policy.
+        """
+        if self.page_mode is PageMode.OPEN:
+            self.banks[bank].open_row = row
+
     def outstanding_for_thread(self, thread_id: int) -> int:
         return self.system.outstanding_for_thread(thread_id)
 
@@ -223,20 +232,46 @@ class CommandChannelController:
         self._next_refresh_at += self.timing.t_refi
 
     def pump(self) -> None:
-        """Issue legal commands now; sleep until the next one is legal."""
-        issued_something = True
-        while issued_something:
-            issued_something = False
+        """Issue legal commands now; sleep until the next one is legal.
+
+        The legality scan inlines ``_next_command`` +
+        ``_earliest_issue`` with the channel-wide bounds (command bus,
+        tRRD window, data-bus horizon) hoisted out of the per-request
+        loop; they only change through ``_issue``, so one read per scan
+        is exact.  Same comparisons, same ``max`` semantics, bit-for-bit
+        identical issue order.
+        """
+        banks = self.banks
+        t_rrd = self.timing.t_rrd
+        t_ras = self.timing.t_ras
+        while True:
             now = self.event_queue.now
             self._maybe_refresh(now)
             pool = self._select_pool()
             if not pool:
                 return
+            cmd_free = self.cmd_free_at
+            act_ok = self.last_activate_at + t_rrd
+            col_floor = self.bus_free_at - self.horizon
             ready = []
             earliest_future = None
             for request in pool:
-                command = self._next_command(request)
-                at = self._earliest_issue(request, command)
+                bank = banks[request.bank]
+                open_row = bank.open_row
+                at = bank.ready_at
+                if at < cmd_free:
+                    at = cmd_free
+                if open_row == request.row:  # column command next
+                    if at < col_floor:
+                        at = col_floor
+                elif open_row is None:  # ACTIVATE next
+                    if at < act_ok:
+                        at = act_ok
+                else:  # PRECHARGE next
+                    if at < bank.activated_at + t_ras:
+                        at = bank.activated_at + t_ras
+                    if at < bank.burst_done_at:
+                        at = bank.burst_done_at
                 if at <= now:
                     ready.append(request)
                 elif earliest_future is None or at < earliest_future:
@@ -253,7 +288,6 @@ class CommandChannelController:
                 request = self.scheduler.select(ready, now, self)
                 reason = None
             self._issue(request, self._next_command(request), now, reason)
-            issued_something = True
 
     def _trace_command(
         self,

@@ -80,12 +80,14 @@ class ChannelController:
         self.transfer = timing.transfer_for_gang(geometry.gang)
         # Flattened bank-timing fast path: the three state-dependent
         # service latencies and the page-mode branch are resolved once
-        # here so the per-request path is plain attribute arithmetic
-        # instead of enum/property dispatch through Bank.classify().
+        # here (from the timing's precomputed per-page-mode table) so
+        # the per-request path is plain attribute arithmetic instead of
+        # enum/property dispatch through Bank.classify().
         self._open_mode = page_mode is PageMode.OPEN
-        self._lat_hit = timing.hit_latency
-        self._lat_closed = timing.closed_latency
-        self._lat_conflict = timing.conflict_latency
+        lat = timing.service_latency_table(self._open_mode)
+        self._lat_hit = lat["hit"]
+        self._lat_closed = lat["closed"]
+        self._lat_conflict = lat["conflict"]
         self._t_pre = timing.t_pre
         #: How far ahead (cycles) the bus may be committed before the
         #: controller stops issuing and waits; keeps scheduling
@@ -113,6 +115,16 @@ class ChannelController:
             self._open_mode
             and self.banks[request.bank].open_row == request.row
         )
+
+    def warm_row(self, bank: int, row: int) -> None:
+        """Functional warming: latch ``row`` with no timing or stats.
+
+        Used by the sampled engine's fast-forward path to keep
+        row-buffer locality realistic between detailed windows.  No-op
+        under the close page policy (banks are always precharged).
+        """
+        if self._open_mode:
+            self.banks[bank].open_row = row
 
     def outstanding_for_thread(self, thread_id: int) -> int:
         """Live outstanding-request count (for the request-based scheme)."""
@@ -149,18 +161,31 @@ class ChannelController:
         return self.reads
 
     def pump(self) -> None:
-        """Issue as much work as the horizon allows, then sleep."""
+        """Issue as much work as the horizon allows, then sleep.
+
+        The ready list is maintained incrementally across same-cycle
+        issues: issuing occupies exactly one bank strictly past ``now``
+        (``data_end >= now + transfer > now``) and removes the request
+        from its pool, so the recomputed ready set would be the previous
+        one minus that bank's requests.  Filtering in place preserves
+        pool order, hence scheduler tie-breaks, bit-for-bit; the full
+        scan only reruns when ``_select_pool`` switches queues.
+        """
         now = self.event_queue.now
+        banks = self.banks
+        pool: list[MemRequest] | None = None
+        ready: list[MemRequest] = []
         while True:
-            pool = self._select_pool()
-            if not pool:
+            current = self._select_pool()
+            if not current:
                 return
             if self.bus_free_at - now > self.horizon:
                 # Enough work committed; revisit when the bus drains.
                 self._wake_at(self.bus_free_at - self.horizon)
                 return
-            banks = self.banks
-            ready = [r for r in pool if banks[r.bank].free_at <= now]
+            if current is not pool:
+                pool = current
+                ready = [r for r in pool if banks[r.bank].free_at <= now]
             if not ready:
                 self._wake_at(min(banks[r.bank].free_at for r in pool))
                 return
@@ -172,6 +197,8 @@ class ChannelController:
                 request = self.scheduler.select(ready, now, self)
                 reason = None
             self._issue(request, now, reason)
+            busy = request.bank
+            ready = [r for r in ready if r.bank != busy]
 
     def _issue(
         self, request: MemRequest, now: int, reason: str | None = None

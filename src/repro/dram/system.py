@@ -208,6 +208,18 @@ class MemorySystem:
         self.submit(request)
         return request
 
+    def warm_line(self, line_addr: int) -> None:
+        """Functional warming: open ``line_addr``'s row, nothing else.
+
+        The sampled engine's fast-forward path calls this for misses it
+        chooses not to simulate: the row buffer of the owning bank is
+        latched (open page mode only) so row locality carries into the
+        next detailed window, but no request is queued, no timing
+        advances, and no statistics are recorded.
+        """
+        channel, bank, row = self.mapping.map_line(line_addr)
+        self.channels[channel].warm_row(bank, row)
+
     def complete(self, request: MemRequest) -> None:
         """Called by a controller when a request's data movement is done."""
         now = self.event_queue.now

@@ -1,6 +1,6 @@
 """Selectable execution engines for the simulator.
 
-Two engines run every simulation:
+Three engines can run a simulation:
 
 * ``"reference"`` — the plain :class:`repro.cpu.core.SMTCore` loop,
   kept deliberately simple: one inlined tick per simulated cycle.
@@ -9,11 +9,18 @@ Two engines run every simulation:
   skipping plus bulk stall accounting) and trims per-cycle dispatch
   overhead.  It is **bit-identical** to the reference by contract:
   every ``MixResult`` field, every RNG draw, every stall counter.
+* ``"sampled"`` — :class:`repro.engine.sampled.SampledSMTCore`, which
+  alternates detailed windows (the fast kernel) with functional
+  fast-forward and *extrapolates* the full-run metrics.  Sampled
+  results are deterministic **estimates**: explicitly excluded from
+  the bit-identity contract, checked instead against a per-metric
+  error bound (see below).  Opt-in only — ``fast`` stays the default.
 
-The contract is enforced, not assumed: ``repro.engine.oracle`` (and
-the ``repro engine-diff`` CLI subcommand / CI lane) runs both engines
-over the fig10 sweep and fails loudly on the first diverging field.
-See ``docs/performance.md``.
+The contracts are enforced, not assumed: ``repro.engine.oracle`` (and
+the ``repro engine-diff`` CLI subcommand / CI lanes) runs engine pairs
+over the fig10 sweep — exact mode fails on the first diverging field,
+bounded-error mode fails when a metric's relative error exceeds its
+tolerance.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -21,13 +28,20 @@ from __future__ import annotations
 from repro.common.errors import ConfigError
 from repro.cpu.core import SMTCore
 from repro.engine.fast import FastSMTCore
+from repro.engine.sampled import SampledSMTCore, SamplingParams
 
 #: Engine names accepted by :class:`repro.experiments.config.SystemConfig`.
-ENGINE_NAMES = ("reference", "fast")
+ENGINE_NAMES = ("reference", "fast", "sampled")
+
+#: Engines whose outputs are bit-identical to the reference by
+#: contract; anything else produces estimates and is checked against a
+#: tolerance instead (see repro.engine.oracle).
+EXACT_ENGINES = ("reference", "fast")
 
 _ENGINES: dict[str, type[SMTCore]] = {
     "reference": SMTCore,
     "fast": FastSMTCore,
+    "sampled": SampledSMTCore,
 }
 
 
@@ -41,4 +55,11 @@ def core_class(engine: str) -> type[SMTCore]:
         ) from None
 
 
-__all__ = ["ENGINE_NAMES", "FastSMTCore", "core_class"]
+__all__ = [
+    "ENGINE_NAMES",
+    "EXACT_ENGINES",
+    "FastSMTCore",
+    "SampledSMTCore",
+    "SamplingParams",
+    "core_class",
+]

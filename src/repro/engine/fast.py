@@ -221,9 +221,10 @@ class FastSMTCore(SMTCore):
             # would lose them.  Traced runs take the reference loop.
             SMTCore._run_phase(self, per_thread_target, max_cycles)
             return
-        for t in self.threads:
+        override = self._target_override
+        for i, t in enumerate(self.threads):
             t.warmup_committed = t.committed
-            t.target = per_thread_target
+            t.target = per_thread_target if override is None else override[i]
             t.finish_cycle = None
         self._unfinished = len(self.threads)
         deadline = self.cycle + max_cycles

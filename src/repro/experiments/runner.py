@@ -149,6 +149,9 @@ def build_system(
         )
         workloads.append((app, stream))
         icache_rngs.append(child_rng(config.seed, f"icache:{app}:{i}"))
+    core_kwargs = {"telemetry": telemetry}
+    if config.engine == "sampled":
+        core_kwargs["sampling"] = config.sampling
     core = core_class(config.engine)(
         config.core,
         event_queue,
@@ -156,7 +159,7 @@ def build_system(
         config.fetch_policy,
         workloads,
         icache_rngs,
-        telemetry=telemetry,
+        **core_kwargs,
     )
     prewarm(hierarchy, [stream.footprint() for _, stream in workloads])
     if sanitizer is not None:
@@ -331,12 +334,16 @@ class Runner:
 
     def _record(
         self, config: SystemConfig, apps: tuple[str, ...], source: str,
-        wall_time_s: float = 0.0,
+        wall_time_s: float = 0.0, result: MixResult | None = None,
     ) -> None:
         rid = _run_id(config, apps)
         if rid not in self._records:
+            sampling = None
+            if result is not None and isinstance(result.core.extra, dict):
+                sampling = result.core.extra.get("sampling")
             self._records[rid] = RunRecord.from_run(
-                config, apps, source=source, wall_time_s=wall_time_s
+                config, apps, source=source, wall_time_s=wall_time_s,
+                sampling=sampling,
             )
 
     def _simulate_once(self, config: SystemConfig, apps: tuple[str, ...]) -> MixResult:
@@ -357,12 +364,12 @@ class Runner:
         key = (config.cache_key(), apps)
         result = self._results.get(key)
         if result is not None:
-            self._record(config, apps, "memo")
+            self._record(config, apps, "memo", result=result)
             return result
         if self.cache is not None:
             result = self.cache.get(config, apps)
             if result is not None:
-                self._record(config, apps, "disk-cache")
+                self._record(config, apps, "disk-cache", result=result)
                 if self.journal is not None and self.journal.completed(
                     _run_id(config, apps)
                 ):
@@ -389,7 +396,8 @@ class Runner:
                 if self.cache is not None:
                     self.cache.put(config, apps, result)
             self._record(
-                config, apps, "simulated", time.perf_counter() - start
+                config, apps, "simulated", time.perf_counter() - start,
+                result=result,
             )
         self._results[key] = result
         return result

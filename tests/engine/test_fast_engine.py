@@ -43,7 +43,7 @@ class TestEngineSelection:
     def test_registry(self):
         assert core_class("reference") is SMTCore
         assert core_class("fast") is FastSMTCore
-        assert set(ENGINE_NAMES) == {"reference", "fast"}
+        assert set(ENGINE_NAMES) == {"reference", "fast", "sampled"}
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigError):
