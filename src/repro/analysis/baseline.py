@@ -1,0 +1,124 @@
+"""Committed-baseline workflow for lint findings.
+
+Adopting a new rule family on a living codebase needs a ratchet: the
+tree may carry known, triaged findings that should not fail CI while
+*new* ones must.  The baseline file (``.repro-lint-baseline.json``,
+committed) records the :attr:`~repro.analysis.linter.Finding.fingerprint`
+of every accepted finding; a lint run then reports only findings whose
+fingerprint is absent.
+
+Fingerprints hash the rule code, file path, enclosing-function anchor,
+and digit-normalized message — not line numbers — so unrelated edits
+that shift a finding do not invalidate the baseline, while moving the
+code to another file or function (a genuine change of identity) does.
+
+The intended ratchet direction is *down*: fix a finding and
+``repro lint --deep --update-baseline`` removes its entry; entries
+whose finding no longer exists anywhere are reported as stale so the
+file cannot quietly accumulate dead weight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.linter import Finding
+
+#: Conventional baseline location, relative to the repo root.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+_SCHEMA = "repro-lint-baseline/1"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """Fingerprint -> context entries from a baseline file.
+
+    A missing file is an empty baseline (the common fresh-repo case);
+    a malformed one raises :class:`BaselineError` — silently ignoring
+    a corrupt ratchet would fail open.
+    """
+    file_path = Path(path)
+    try:
+        with open(file_path) as handle:
+            doc = json.load(handle)
+    except FileNotFoundError:
+        return {}
+    except ValueError as exc:
+        raise BaselineError(f"{file_path}: not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != _SCHEMA:
+        raise BaselineError(
+            f"{file_path}: expected schema {_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    fingerprints = doc.get("fingerprints")
+    if not isinstance(fingerprints, dict):
+        raise BaselineError(f"{file_path}: missing 'fingerprints' object")
+    return {str(k): dict(v) for k, v in fingerprints.items()}
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline accepting exactly ``findings``; return count.
+
+    Output is sorted and the write staged + atomically replaced, so
+    regenerating an unchanged baseline is byte-identical (no diff
+    churn) and a crash cannot leave a half-written ratchet.
+    """
+    file_path = Path(path)
+    entries = {
+        finding.fingerprint: {
+            "code": finding.code,
+            "path": finding.path,
+            "anchor": finding.anchor,
+            "message": finding.message,
+        }
+        for finding in findings
+    }
+    doc = {"schema": _SCHEMA, "fingerprints": entries}
+    tmp = file_path.with_name(f"{file_path.name}.{os.getpid()}.tmp")
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, file_path)
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: dict[str, dict]
+) -> tuple[list[Finding], int, list[str]]:
+    """Split findings against a baseline.
+
+    Returns ``(new, suppressed_count, stale_fingerprints)`` where
+    ``new`` are findings not in the baseline (these fail the run),
+    ``suppressed_count`` is how many were ratcheted away, and
+    ``stale_fingerprints`` are baseline entries matching nothing — the
+    finding was fixed and the entry should be dropped via
+    ``--update-baseline``.
+    """
+    new: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if fingerprint in baseline:
+            seen.add(fingerprint)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - seen)
+    return new, len(seen), stale
+
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "BaselineError",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

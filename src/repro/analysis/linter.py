@@ -27,7 +27,10 @@ from __future__ import annotations
 
 import ast
 import enum
+import hashlib
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -48,7 +51,13 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True)
 class Finding:
-    """One linter hit, pinned to a file location."""
+    """One linter hit, pinned to a file location.
+
+    Deep-analysis findings additionally carry ``anchor`` (the enclosing
+    function's qualified name, used for line-stable baseline
+    fingerprints) and ``trace`` — the source→sink path as
+    ``(path, line, description)`` steps.
+    """
 
     path: str
     line: int
@@ -56,10 +65,24 @@ class Finding:
     code: str
     message: str
     severity: Severity
+    anchor: str = ""
+    trace: tuple[tuple[str, int, str], ...] = ()
 
     @property
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.code)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity, for baseline matching.
+
+        Digits are normalized out of the message so a finding keeps its
+        fingerprint when unrelated edits shift line numbers embedded in
+        rendered positions; the anchor pins it to its function.
+        """
+        message = re.sub(r"\d+", "N", self.message)
+        raw = f"{self.code}|{self.path}|{self.anchor}|{message}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:20]
 
     def render(self) -> str:
         """Human-readable one-liner (``path:line:col: CODE message``)."""
@@ -68,9 +91,16 @@ class Finding:
             f"[{self.severity.value}] {self.message}"
         )
 
+    def render_trace(self) -> list[str]:
+        """Indented source→sink steps (empty for shallow findings)."""
+        return [
+            f"    {'->' if i else '  '} {path}:{line}: {text}"
+            for i, (path, line, text) in enumerate(self.trace)
+        ]
+
     def to_dict(self) -> dict[str, object]:
         """JSON-friendly representation (``repro lint --format json``)."""
-        return {
+        doc: dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -78,25 +108,128 @@ class Finding:
             "message": self.message,
             "severity": self.severity.value,
         }
+        if self.anchor:
+            doc["anchor"] = self.anchor
+        if self.trace:
+            doc["trace"] = [list(step) for step in self.trace]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (summary-cache round trips)."""
+        return cls(
+            path=str(doc["path"]),
+            line=int(doc["line"]),  # type: ignore[call-overload]
+            col=int(doc["col"]),  # type: ignore[call-overload]
+            code=str(doc["code"]),
+            message=str(doc["message"]),
+            severity=Severity(doc["severity"]),
+            anchor=str(doc.get("anchor", "")),
+            trace=tuple(
+                (str(p), int(n), str(t)) for p, n, t in doc.get("trace", ())
+            ),
+        )
 
 
-#: ``# repro: allow(DET001)`` or ``# repro: allow(DET001, DET006) why...``
+#: ``# repro: allow(DET001)`` or ``# repro: allow(DET001, FS003) why...``
+#: Code families: DET (per-line determinism), TNT (taint source→sink),
+#: FS (filesystem atomicity).
 _PRAGMA_RE = re.compile(
-    r"#\s*repro:\s*allow\(\s*([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\s*\)"
+    r"#\s*repro:\s*allow\(\s*([A-Z]{2,4}\d{3}(?:\s*,\s*[A-Z]{2,4}\d{3})*)\s*\)"
 )
 
 
 def pragmas_for_source(source: str) -> dict[int, frozenset[str]]:
-    """Map 1-based line numbers to the rule codes allowed on that line."""
+    """Map 1-based line numbers to the rule codes allowed on that line.
+
+    Only genuine comments count: the source is tokenized so a pragma
+    *example* inside a docstring neither suppresses anything nor trips
+    the DET000 unused-pragma audit.  Tokenization failures (the file
+    parsed, so these are exotic) fall back to a plain line scan.
+    """
     allowed: dict[int, frozenset[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA_RE.search(text)
+
+    def record(lineno: int, comment: str) -> None:
+        # Anchored at the comment's own start: a comment *quoting* the
+        # pragma syntax (like the one above this function) is not a
+        # pragma.
+        match = _PRAGMA_RE.match(comment)
         if match is not None:
-            codes = frozenset(
+            allowed[lineno] = frozenset(
                 code.strip() for code in match.group(1).split(",")
             )
-            allowed[lineno] = codes
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        allowed.clear()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            hash_at = text.find("#")
+            while hash_at != -1:
+                record(lineno, text[hash_at:])
+                if lineno in allowed:
+                    break
+                hash_at = text.find("#", hash_at + 1)
     return allowed
+
+
+#: Meta-rule: a pragma that suppresses nothing.  Not in the registry
+#: (it has no AST check); emitted by :func:`apply_pragmas` when every
+#: rule a pragma names has run and none of its codes matched a finding.
+UNUSED_PRAGMA_CODE = "DET000"
+UNUSED_PRAGMA_SUMMARY = (
+    "unused suppression: pragma names code(s) that suppress nothing here"
+)
+
+
+def apply_pragmas(
+    findings: Iterable[Finding],
+    allowed: dict[int, frozenset[str]],
+    path: str,
+    ran_codes: frozenset[str] | None = None,
+    warn_unused: bool = True,
+    used: set[tuple[str, int, str]] | None = None,
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (kept, DET000-unused-pragma findings).
+
+    ``ran_codes`` is the set of rule codes that actually executed this
+    invocation; pragma codes outside it (e.g. a TNT code during a
+    shallow run) are never reported unused, so suppressions for deeper
+    analyses survive shallow runs.  ``used`` (optional, shared across
+    files for cross-file deep findings) accumulates
+    ``(path, line, code)`` triples that suppressed something.
+    """
+    if used is None:
+        used = set()
+    kept: list[Finding] = []
+    for finding in findings:
+        if finding.code in allowed.get(finding.line, frozenset()):
+            used.add((path, finding.line, finding.code))
+        else:
+            kept.append(finding)
+    unused: list[Finding] = []
+    if warn_unused:
+        for line in sorted(allowed):
+            for code in sorted(allowed[line]):
+                if ran_codes is not None and code not in ran_codes:
+                    continue
+                if (path, line, code) not in used:
+                    unused.append(
+                        Finding(
+                            path=path,
+                            line=line,
+                            col=1,
+                            code=UNUSED_PRAGMA_CODE,
+                            message=(
+                                f"unused suppression: {code} suppresses "
+                                "nothing on this line"
+                            ),
+                            severity=Severity.WARNING,
+                        )
+                    )
+    return kept, unused
 
 
 class FileContext:
@@ -201,15 +334,17 @@ def all_rules() -> list[type[Rule]]:
     return sorted(_REGISTRY, key=lambda rule: rule.code)
 
 
-def lint_source(
+def lint_source_raw(
     source: str,
     path: str = "<string>",
     rules: Sequence[type[Rule]] | None = None,
 ) -> list[Finding]:
-    """Lint one source string; returns unsuppressed findings, sorted.
+    """Run the rules over one source string with *no* pragma filtering.
 
-    Raises :class:`SyntaxError` if the source does not parse — the
-    caller (see :func:`lint_paths`) decides how to surface that.
+    The deep analyzer uses this to cache pre-suppression findings per
+    file and apply pragmas once, globally (a deep finding may be
+    suppressed at its source line or its sink line, in different
+    files).  Raises :class:`SyntaxError` if the source does not parse.
     """
     tree = ast.parse(source, filename=path)
     rule_classes = list(rules) if rules is not None else all_rules()
@@ -222,13 +357,35 @@ def lint_source(
     for node in ast.walk(tree):
         for instance in dispatch.get(type(node), ()):
             instance.check(node, ctx)
-    allowed = pragmas_for_source(source)
-    kept = [
-        finding
-        for finding in ctx.findings
-        if finding.code not in allowed.get(finding.line, frozenset())
-    ]
-    return sorted(kept, key=lambda finding: finding.sort_key)
+    return ctx.findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[type[Rule]] | None = None,
+    warn_unused_pragmas: bool = True,
+) -> list[Finding]:
+    """Lint one source string; returns unsuppressed findings, sorted.
+
+    A pragma whose codes all ran but suppressed nothing earns a
+    :data:`DET000 <UNUSED_PRAGMA_CODE>` finding (disable with
+    ``warn_unused_pragmas=False``); pragma codes for rules *not* in
+    this run (e.g. TNT/FS codes during a shallow lint) are left alone.
+    Raises :class:`SyntaxError` if the source does not parse — the
+    caller (see :func:`lint_paths`) decides how to surface that.
+    """
+    rule_classes = list(rules) if rules is not None else all_rules()
+    findings = lint_source_raw(source, path, rule_classes)
+    ran_codes = frozenset(rule.code for rule in rule_classes)
+    kept, unused = apply_pragmas(
+        findings,
+        pragmas_for_source(source),
+        path,
+        ran_codes=ran_codes,
+        warn_unused=warn_unused_pragmas,
+    )
+    return sorted(kept + unused, key=lambda finding: finding.sort_key)
 
 
 def lint_file(

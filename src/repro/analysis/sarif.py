@@ -1,0 +1,132 @@
+"""SARIF 2.1.0 output for ``repro lint`` (shallow and deep).
+
+SARIF (Static Analysis Results Interchange Format) is what code
+hosts and CI systems ingest to annotate diffs with findings.  One
+:func:`to_sarif` call turns a lint report into a single-run SARIF log:
+
+* every rule that *can* fire (DET, TNT, FS families) appears in the
+  tool's rule catalog, so viewers can show descriptions for rules with
+  zero results;
+* each finding becomes a ``result`` with its physical location, its
+  baseline fingerprint under ``partialFingerprints`` (the same
+  fingerprint :mod:`repro.analysis.baseline` uses, so SARIF-side
+  dedup agrees with the local ratchet);
+* deep findings carry their source→sink path as a ``codeFlow`` —
+  one thread flow location per step — which SARIF viewers render as a
+  clickable taint trace.
+
+The emitted document is plain data; tests validate it against the
+published SARIF 2.1.0 JSON schema when :mod:`jsonschema` is present.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.fs_rules import FS_RULES
+from repro.analysis.linter import (
+    Finding,
+    Severity,
+    UNUSED_PRAGMA_CODE,
+    UNUSED_PRAGMA_SUMMARY,
+    all_rules,
+)
+from repro.analysis.taint_rules import TNT_RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def rule_catalog() -> list[dict]:
+    """Every rule the linter can emit, as SARIF reportingDescriptors."""
+    rules: list[dict[str, object]] = []
+
+    def add(code: str, summary: str, severity: Severity) -> None:
+        rules.append(
+            {
+                "id": code,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {"level": _LEVELS[severity]},
+            }
+        )
+
+    add(UNUSED_PRAGMA_CODE, UNUSED_PRAGMA_SUMMARY, Severity.WARNING)
+    for rule_cls in all_rules():
+        add(rule_cls.code, rule_cls.summary, rule_cls.severity)
+    for code, (summary, severity) in sorted(TNT_RULES.items()):
+        add(code, summary, severity)
+    for code, (summary, severity) in sorted(FS_RULES.items()):
+        add(code, summary, severity)
+    return rules
+
+
+def _location(path: str, line: int, col: int, text: str | None = None) -> dict:
+    location: dict[str, object] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": line, "startColumn": max(col, 1)},
+        }
+    }
+    if text:
+        location["message"] = {"text": text}
+    return location
+
+
+def _result(finding: Finding) -> dict:
+    result: dict[str, object] = {
+        "ruleId": finding.code,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+    if finding.trace:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": _location(path, line, 1, text),
+                            }
+                            for path, line, text in finding.trace
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def to_sarif(
+    findings: Iterable[Finding], tool_version: str = "1.0.0"
+) -> dict:
+    """One complete SARIF 2.1.0 log document for ``findings``."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static-analysis.md"
+                        ),
+                        "version": tool_version,
+                        "rules": rule_catalog(),
+                    }
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "rule_catalog", "to_sarif"]

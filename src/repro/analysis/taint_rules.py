@@ -1,0 +1,225 @@
+"""Determinism taint model: sources, sanitizers, and TNT sinks.
+
+The dataflow pass (:mod:`repro.analysis.dataflow`) tracks values from
+*nondeterminism sources* to *determinism sinks* — places whose inputs
+must be a pure function of the simulation configuration because they
+feed cache keys, content-addressed store entries, journals, manifests,
+or HTTP response bodies.  This module is the catalog both ends consult:
+
+* :data:`SOURCES` / :func:`match_source` — calls that mint a
+  nondeterministic value (wall clock, raw RNG, pids, ``id()``,
+  environment reads, unsorted filesystem listings).  Iteration over a
+  set expression is handled structurally by the extractor and tagged
+  with the ``set-order`` kind.
+* :data:`ORDER_KINDS` / :data:`SANITIZERS` — *order*-nondeterminism
+  (listing order, set order) is laundered by ``sorted()`` and by
+  order-insensitive reductions (``len``/``min``/``max``); value
+  nondeterminism (a timestamp) survives any amount of sorting, so
+  sanitizers only clear the order kinds.
+* :data:`SINKS` / :func:`match_sink` — calls whose arguments become
+  part of a deterministic contract.  Sinks are matched by callable
+  name plus a receiver/class hint (there is no type inference), e.g.
+  ``put`` only counts when called on something whose spelling — or
+  whose enclosing class — mentions a cache or store.
+
+Unlike the per-line DET rules, a TNT finding carries the whole
+source→sink path, so codes are per *sink family*: the same wall-clock
+read is TNT001 when it reaches a cache key and TNT003 when it reaches
+a journal record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.linter import Severity
+
+# ---------------------------------------------------------------------------
+# sources
+
+#: Taint kinds whose hazard is *ordering*, not the value itself; these
+#: are cleared by sanitizers, value kinds are not.
+ORDER_KINDS = frozenset({"fs-order", "set-order"})
+
+#: Dotted call name -> taint kind for exact matches.
+_SOURCE_CALLS: dict[str, str] = {
+    "time.time": "wall-clock",
+    "time.time_ns": "wall-clock",
+    "time.monotonic": "wall-clock",
+    "time.monotonic_ns": "wall-clock",
+    "datetime.now": "wall-clock",
+    "datetime.utcnow": "wall-clock",
+    "datetime.today": "wall-clock",
+    "datetime.datetime.now": "wall-clock",
+    "datetime.datetime.utcnow": "wall-clock",
+    "datetime.datetime.today": "wall-clock",
+    "datetime.date.today": "wall-clock",
+    "date.today": "wall-clock",
+    "os.getpid": "process-id",
+    "os.getppid": "process-id",
+    "threading.get_ident": "process-id",
+    "uuid.uuid1": "uuid",
+    "uuid.uuid4": "uuid",
+    "os.getenv": "environment",
+    "os.environ.get": "environment",
+    "os.environb.get": "environment",
+    "os.listdir": "fs-order",
+    "os.scandir": "fs-order",
+    "glob.glob": "fs-order",
+    "glob.iglob": "fs-order",
+    "id": "memory-address",
+}
+
+#: Method names that yield filesystem-ordered listings on any receiver.
+_LISTING_METHODS = frozenset({"glob", "iglob", "rglob", "iterdir"})
+
+#: ``random.*`` prefix (module-level RNG) and ``secrets.*``.
+_SOURCE_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("random.", "raw-rng"),
+    ("secrets.", "raw-rng"),
+)
+
+
+def match_source(dotted: str | None) -> str | None:
+    """Taint kind minted by a call to ``dotted``, or None."""
+    if dotted is None:
+        return None
+    kind = _SOURCE_CALLS.get(dotted)
+    if kind is not None:
+        return kind
+    for prefix, prefix_kind in _SOURCE_PREFIXES:
+        if dotted.startswith(prefix):
+            return prefix_kind
+    simple = dotted.rsplit(".", 1)[-1]
+    if simple in _LISTING_METHODS and "." in dotted:
+        return "fs-order"
+    return None
+
+
+#: Calls through which ORDER_KINDS taint does not propagate: sorting
+#: fixes the order, counting/extrema ignore it.  Value kinds pass
+#: through untouched (``sorted([time.time()])`` is still wall-clock).
+SANITIZERS = frozenset({"sorted", "len", "min", "max"})
+
+# ---------------------------------------------------------------------------
+# sinks
+
+
+@dataclass(frozen=True)
+class Sink:
+    """One determinism sink: a callable whose arguments must be pure.
+
+    ``name`` is the call's last dotted component; ``hints`` are
+    lowercase substrings, at least one of which must appear in the
+    receiver expression *or* the enclosing class name (empty hints
+    match any receiver — used for globally unambiguous names like
+    ``SystemConfig``).
+    """
+
+    code: str
+    name: str
+    hints: tuple[str, ...]
+    what: str  # human description of the sink family
+
+
+#: TNT rule codes -> (summary, severity of value-kind findings).
+TNT_RULES: dict[str, tuple[str, Severity]] = {
+    "TNT001": (
+        "nondeterministic value flows into a cache key / run identity",
+        Severity.ERROR,
+    ),
+    "TNT002": (
+        "nondeterministic value flows into a cache/store payload",
+        Severity.ERROR,
+    ),
+    "TNT003": (
+        "nondeterministic value flows into a batch-journal record",
+        Severity.ERROR,
+    ),
+    "TNT004": (
+        "nondeterministic value flows into a run manifest record",
+        Severity.WARNING,
+    ),
+    "TNT005": (
+        "nondeterministic value flows into an HTTP response body",
+        Severity.WARNING,
+    ),
+}
+
+SINKS: tuple[Sink, ...] = (
+    # TNT001 — run identity: SystemConfig fields feed cache_key(),
+    # which feeds ResultCache paths, ResultStore addresses, run_ids,
+    # and manifest filenames.
+    Sink("TNT001", "SystemConfig", (), "SystemConfig construction"),
+    Sink("TNT001", "table1", ("config", "systemconfig"), "SystemConfig.table1"),
+    Sink("TNT001", "with_", ("config", "cfg", "systemconfig"), "SystemConfig.with_"),
+    Sink("TNT001", "cache_key", (), "cache-key computation"),
+    Sink("TNT001", "config_hash", (), "config hash"),
+    Sink("TNT001", "run_id", (), "run identity"),
+    Sink("TNT001", "path_for", ("cache", "store"), "cache entry path"),
+    Sink("TNT001", "key_for", ("cache", "store"), "store key"),
+    Sink("TNT001", "path_for_key", ("cache", "store"), "store entry path"),
+    # TNT002 — durable payloads in the result cache / content store.
+    Sink("TNT002", "put", ("cache", "store"), "cache/store payload"),
+    Sink("TNT002", "publish", ("cache", "store"), "store publish"),
+    Sink("TNT002", "publish_path", (), "atomic publish payload"),
+    # TNT003 — crash-safe journal lines (replayed on --resume).
+    Sink("TNT003", "record_complete", ("journal",), "journal complete record"),
+    Sink("TNT003", "record_failure", ("journal",), "journal failure record"),
+    Sink("TNT003", "_write_line", ("journal",), "journal line"),
+    # TNT004 — provenance records served by the result API.
+    Sink("TNT004", "RunRecord", (), "run record"),
+    Sink("TNT004", "RunManifest", (), "run manifest"),
+    Sink("TNT004", "from_run", ("runrecord", "record"), "run record"),
+    # TNT005 — bytes written to an HTTP client.
+    Sink("TNT005", "write", ("wfile",), "HTTP response body"),
+    Sink("TNT005", "_respond", ("self", "handler"), "HTTP response body"),
+)
+
+#: name -> sinks sharing it (built once; lookups are hot).
+_SINKS_BY_NAME: dict[str, tuple[Sink, ...]] = {}
+for _sink in SINKS:
+    _SINKS_BY_NAME[_sink.name] = _SINKS_BY_NAME.get(_sink.name, ()) + (_sink,)
+
+
+def match_sink(
+    dotted: str, receiver: str, class_name: str | None
+) -> Sink | None:
+    """The sink a call to ``dotted`` hits, if any.
+
+    ``receiver`` is the unparsed expression the method was called on
+    (empty for plain calls); ``class_name`` is the enclosing class of
+    the *calling* function, which lets ``self._write_line(...)`` inside
+    ``BatchJournal`` match the ``journal`` hint.
+    """
+    simple = dotted.rsplit(".", 1)[-1]
+    candidates = _SINKS_BY_NAME.get(simple)
+    if not candidates:
+        return None
+    context = f"{receiver} {class_name or ''}".lower()
+    for sink in candidates:
+        if not sink.hints:
+            return sink
+        if any(hint in context for hint in sink.hints):
+            return sink
+    return None
+
+
+def severity_for(code: str, kind: str) -> Severity:
+    """Finding severity: order-kind taints are heuristic warnings."""
+    base = TNT_RULES[code][1]
+    if kind in ORDER_KINDS:
+        return Severity.WARNING
+    return base
+
+
+__all__ = [
+    "ORDER_KINDS",
+    "SANITIZERS",
+    "SINKS",
+    "Sink",
+    "TNT_RULES",
+    "match_sink",
+    "match_source",
+    "severity_for",
+]

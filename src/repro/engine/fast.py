@@ -37,6 +37,8 @@ are per-cycle observables).  Bit-identity is enforced by
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.common.types import OpClass
 from repro.cpu.core import SMTCore
 from repro.cpu.fetch import (
@@ -99,14 +101,14 @@ class _SharedStream:
 
     __slots__ = ("_entry", "_uops", "_pos", "_backing", "profile")
 
-    def __init__(self, entry, backing) -> None:
+    def __init__(self, entry: tuple[list[Any], Any], backing: Any) -> None:
         self._entry = entry
         self._uops = entry[0]
         self._pos = 0
         self._backing = backing
         self.profile = backing.profile
 
-    def next_uop(self):
+    def next_uop(self) -> Any:
         pos = self._pos
         uops = self._uops
         if pos >= len(uops):
@@ -114,13 +116,13 @@ class _SharedStream:
         self._pos = pos + 1
         return uops[pos]
 
-    def footprint(self):
+    def footprint(self) -> Any:
         # Region layout is fixed at construction, identical for every
         # stream instance with this memo key.
         return self._backing.footprint()
 
 
-def _shared_stream(stream):
+def _shared_stream(stream: Any) -> Any:
     """Wrap ``stream`` in a memoized replay view (or pass through)."""
     try:
         # AppProfile is a frozen dataclass: hashing by value keeps the
@@ -153,7 +155,7 @@ class FastSMTCore(SMTCore):
     ``docs/performance.md`` for the proof obligations).
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         for t in self.threads:
             t.stream = _shared_stream(t.stream)
@@ -179,7 +181,7 @@ class FastSMTCore(SMTCore):
     # µop and the extra call layer is measurable; scheduled events bind
     # these overrides)
 
-    def _release_iq(self, node) -> None:
+    def _release_iq(self, node: Any) -> None:
         self._fe_version += 1
         t = self.threads[node.thread_id]
         t.unissued -= 1
@@ -195,7 +197,7 @@ class FastSMTCore(SMTCore):
                 self._last_int_issue_cycle = now
                 self._int_issue_cycles += 1
 
-    def _resolve(self, node, finish: int) -> None:
+    def _resolve(self, node: Any, finish: int) -> None:
         """The node's finish time became known; wake its dependents."""
         self._fe_version += 1
         node.finish = finish
@@ -276,7 +278,7 @@ class FastSMTCore(SMTCore):
     # ------------------------------------------------------------------
     # stalled-window kernel
 
-    def _reject_key(self, uop) -> str | None:
+    def _reject_key(self, uop: Any) -> str | None:
         """Which rejection counter a dispatch of ``uop`` would bump now.
 
         Mirrors the resource checks of :meth:`SMTCore._dispatch` in
@@ -673,7 +675,7 @@ class FastSMTCore(SMTCore):
                 stalls["not_selected"] += 1
         return fetched
 
-    def _dispatch(self, t, uop, cycle: int) -> int:
+    def _dispatch(self, t: Any, uop: Any, cycle: int) -> int:
         """Reference :meth:`SMTCore._dispatch` with enum-property calls
         replaced by identity checks and params hoisted — same outcomes,
         same counter updates, bit for bit."""

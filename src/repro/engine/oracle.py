@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.common.errors import ConfigError
 from repro.engine import ENGINE_NAMES
@@ -71,7 +71,7 @@ FIG10_SCHEDULERS = (
 )
 FIG10_MIXES = ("2-MIX", "2-MEM", "4-MIX", "4-MEM", "8-MIX", "8-MEM")
 
-def _with_core(config: SystemConfig, **core_overrides) -> SystemConfig:
+def _with_core(config: SystemConfig, **core_overrides: Any) -> SystemConfig:
     return config.with_(
         core=dataclasses.replace(config.core, **core_overrides)
     )
@@ -375,7 +375,7 @@ def fig10_sweep_jobs(
 def run_fig10_sweep(
     config: SystemConfig | None = None,
     mixes: Sequence[str] | None = None,
-    progress=None,
+    progress: Callable[[ComparisonReport], None] | None = None,
     fail_fast: bool = False,
     *,
     schedulers: Sequence[str] | None = None,

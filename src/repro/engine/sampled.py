@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 from repro.common.errors import ConfigError
 from repro.cpu.stats import CoreResult, ThreadResult
@@ -120,8 +121,8 @@ class SampledSMTCore(FastSMTCore):
     phase with the window/fast-forward schedule and extrapolation.
     """
 
-    def __init__(self, *args, sampling: SamplingParams | None = None,
-                 **kwargs) -> None:
+    def __init__(self, *args: Any, sampling: SamplingParams | None = None,
+                 **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.sampling = sampling if sampling is not None else SamplingParams()
 

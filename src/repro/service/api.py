@@ -39,6 +39,7 @@ import threading
 import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from repro.service.jobs import JobSpec, campaign_names, config_from_dict
 from repro.service.scheduler import CampaignScheduler
@@ -267,7 +268,7 @@ class _Handler(BaseHTTPRequestHandler):
     def app(self) -> ServiceApp:
         return self.server.app  # type: ignore[attr-defined]
 
-    def log_message(self, format: str, *args) -> None:
+    def log_message(self, format: str, *args: object) -> None:
         log.debug("%s " + format, self.address_string(), *args)
 
     def _respond(self, status: int, payload: dict | str | bytes) -> None:
@@ -291,7 +292,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _timed(self, fn) -> None:
+    def _timed(self, fn: Callable[[], tuple[int, dict | str | bytes]]) -> None:
         app = self.app
         app._requests.add()
         start = time.perf_counter()

@@ -25,6 +25,7 @@ import signal
 import sys
 import types
 
+from repro.experiments.config import SystemConfig
 from repro.experiments.resilience import RetryPolicy
 from repro.service.api import DEFAULT_LRU_ENTRIES, make_server
 from repro.service.client import ServiceClient, ServiceError, write_server_info
@@ -52,7 +53,7 @@ def _client(args: argparse.Namespace) -> ServiceClient:
     return ServiceClient(url=args.url, store_dir=args.store)
 
 
-def add_service_parsers(sub) -> None:
+def add_service_parsers(sub: argparse._SubParsersAction) -> None:
     """Register the service subcommands on the main CLI's subparsers."""
     # Imported lazily: this function runs from build_parser, after
     # repro.experiments.cli has fully loaded (module-level would be a
@@ -188,7 +189,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _submit_config(args: argparse.Namespace):
+def _submit_config(args: argparse.Namespace) -> SystemConfig:
     from repro.experiments.cli import _config_from_args
 
     return _config_from_args(args)

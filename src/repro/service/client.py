@@ -47,6 +47,8 @@ def write_server_info(store_dir: str | os.PathLike, url: str) -> Path:
     with open(tmp, "w") as handle:
         json.dump({"url": url, "pid": os.getpid()}, handle)
         handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
     return path
 

@@ -40,7 +40,6 @@ import os
 import threading
 import time
 from collections import deque
-from pathlib import Path
 from typing import Sequence
 
 from repro.common.errors import JobFailureError
@@ -441,7 +440,7 @@ class CampaignScheduler:
     def __enter__(self) -> "CampaignScheduler":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
 

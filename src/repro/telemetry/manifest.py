@@ -157,6 +157,8 @@ class RunManifest:
         with open(tmp, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
         return path
 

@@ -1,0 +1,93 @@
+"""Tests for the lint baseline ratchet (.repro-lint-baseline.json)."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.linter import Finding, Severity
+
+
+def make_finding(line=10, path="src/m.py", code="TNT001", message="boom at 10"):
+    return Finding(
+        path=path, line=line, col=1, code=code, message=message,
+        severity=Severity.ERROR, anchor="m.f",
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_line_shifts(self):
+        a = make_finding(line=10, message="flow reaches sink at src/m.py:12")
+        b = make_finding(line=99, message="flow reaches sink at src/m.py:101")
+        # Same code/path/anchor, digits normalized out of the message.
+        assert a.fingerprint == b.fingerprint
+
+    def test_changes_with_code_path_anchor(self):
+        base = make_finding()
+        assert base.fingerprint != make_finding(code="TNT002").fingerprint
+        assert base.fingerprint != make_finding(path="src/n.py").fingerprint
+        moved = Finding(
+            path=base.path, line=base.line, col=1, code=base.code,
+            message=base.message, severity=base.severity, anchor="m.other",
+        )
+        assert base.fingerprint != moved.fingerprint
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        findings = [make_finding(), make_finding(code="FS001")]
+        assert write_baseline(target, findings) == 2
+        loaded = load_baseline(target)
+        assert set(loaded) == {f.fingerprint for f in findings}
+        for entry in loaded.values():
+            assert {"code", "path", "anchor", "message"} <= set(entry)
+
+    def test_write_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        findings = [make_finding(code="FS001"), make_finding()]
+        write_baseline(a, findings)
+        write_baseline(b, list(reversed(findings)))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_malformed_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/9", "fingerprints": {}}))
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+
+class TestApply:
+    def test_splits_new_from_baselined(self, tmp_path):
+        old = make_finding()
+        new = make_finding(code="FS002")
+        target = tmp_path / "b.json"
+        write_baseline(target, [old])
+        kept, suppressed, stale = apply_baseline(
+            [old, new], load_baseline(target)
+        )
+        assert [f.code for f in kept] == ["FS002"]
+        assert suppressed == 1
+        assert stale == []
+
+    def test_stale_entries_reported(self, tmp_path):
+        fixed = make_finding()
+        target = tmp_path / "b.json"
+        write_baseline(target, [fixed])
+        kept, suppressed, stale = apply_baseline([], load_baseline(target))
+        assert kept == [] and suppressed == 0
+        assert stale == [fixed.fingerprint]

@@ -1,0 +1,119 @@
+"""Tests for the syntactic module/class/call-graph index."""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import (
+    ProgramIndex,
+    import_map,
+    index_module,
+    module_qname,
+)
+
+
+def module_info(source, path):
+    """Index ``source`` as if it lived at ``path`` (qname = stem,
+    since no package dirs exist on disk for these fixtures)."""
+    tree = ast.parse(textwrap.dedent(source))
+    return index_module(tree, path)
+
+
+class TestModuleQname:
+    def test_packaged_file(self, tmp_path):
+        pkg = tmp_path / "top" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "top" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("")
+        assert module_qname(pkg / "mod.py") == "top.sub.mod"
+        assert module_qname(pkg / "__init__.py") == "top.sub"
+
+    def test_bare_file(self, tmp_path):
+        (tmp_path / "script.py").write_text("")
+        assert module_qname(tmp_path / "script.py") == "script"
+
+
+class TestImportMap:
+    def test_plain_and_aliased(self):
+        tree = ast.parse(
+            "import os\nimport os.path\nimport numpy as np\n"
+            "from a.b import c\nfrom a.b import c as d\n"
+        )
+        mapping = import_map(tree, "pkg.mod")
+        assert mapping["os"] == "os"
+        assert mapping["np"] == "numpy"
+        assert mapping["c"] == "a.b.c"
+        assert mapping["d"] == "a.b.c"
+
+    def test_relative_import(self):
+        tree = ast.parse("from .sibling import helper\n")
+        mapping = import_map(tree, "pkg.mod")
+        assert mapping["helper"] == "pkg.sibling.helper"
+
+    def test_two_level_relative(self):
+        tree = ast.parse("from ..other import helper\n")
+        mapping = import_map(tree, "pkg.sub.mod")
+        assert mapping["helper"] == "pkg.other.helper"
+
+
+class TestResolveCall:
+    def make_index(self):
+        a = module_info(
+            """
+            def helper(x):
+                return x
+
+            class Base:
+                def shared(self):
+                    pass
+
+            class Impl(Base):
+                def __init__(self):
+                    pass
+
+                def own(self):
+                    pass
+            """,
+            path="a.py",
+        )
+        b = module_info(
+            """
+            from a import helper, Impl
+            import a as alias
+
+            def caller():
+                pass
+            """,
+            path="b.py",
+        )
+        return ProgramIndex([a, b]), a, b
+
+    def test_local_function(self):
+        index, a, b = self.make_index()
+        assert index.resolve_call("helper", a) == ("a.helper",)
+
+    def test_imported_function(self):
+        index, a, b = self.make_index()
+        assert index.resolve_call("helper", b) == ("a.helper",)
+
+    def test_module_alias_attribute(self):
+        index, a, b = self.make_index()
+        assert index.resolve_call("alias.helper", b) == ("a.helper",)
+
+    def test_constructor_resolves_to_init(self):
+        index, a, b = self.make_index()
+        assert index.resolve_call("Impl", b) == ("a.Impl.__init__",)
+
+    def test_self_method_with_inheritance(self):
+        index, a, b = self.make_index()
+        assert index.resolve_call(
+            "self.shared", a, class_qname="a.Impl"
+        ) == ("a.Base.shared",)
+        assert index.resolve_call(
+            "self.own", a, class_qname="a.Impl"
+        ) == ("a.Impl.own",)
+
+    def test_unresolvable_object_call(self):
+        index, a, b = self.make_index()
+        assert index.resolve_call("cache.put", b) == ()
+        assert index.resolve_call("unknown", b) == ()

@@ -96,3 +96,152 @@ class TestMainCliIntegration:
     def test_lint_clean_tree(self, clean_file, capsys):
         assert repro_main(["lint", str(clean_file)]) == 0
         capsys.readouterr()
+
+    def test_deep_flag_reaches_analyzer(self, clean_file, capsys):
+        assert repro_main(["lint", "--deep", str(clean_file)]) == 0
+        capsys.readouterr()
+
+
+@pytest.fixture
+def taint_pkg(tmp_path):
+    """Cross-file wall-clock -> cache payload flow (TNT002 + DET002)."""
+    pkg = tmp_path / "taintpkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "clock.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n"
+    )
+    (pkg / "runner.py").write_text(
+        "from taintpkg.clock import stamp\n\n\n"
+        "def run(cache, cfg):\n"
+        "    cache.put(cfg, {'when': stamp()})\n"
+    )
+    return pkg
+
+
+class TestDeepMode:
+    def run(self, argv):
+        import argparse
+
+        from repro.analysis.cli import add_lint_arguments, run_lint
+
+        parser = argparse.ArgumentParser()
+        add_lint_arguments(parser)
+        out = io.StringIO()
+        code = run_lint(parser.parse_args(argv), out=out)
+        return code, out.getvalue()
+
+    def test_deep_clean_exits_zero(self, clean_file):
+        assert self.run(["--deep", str(clean_file)])[0] == 0
+
+    def test_deep_findings_exit_one_with_trace(self, taint_pkg):
+        code, text = self.run(["--deep", str(taint_pkg)])
+        assert code == 1
+        assert "TNT002" in text
+        assert "cache.put" in text  # the rendered source->sink trace
+
+    def test_deep_missing_path_exits_two(self):
+        assert self.run(["--deep", "/no/such/path.py"])[0] == 2
+
+    def test_deep_syntax_error_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert self.run(["--deep", str(bad)])[0] == 2
+
+    def test_select_with_deep_exits_two(self, clean_file):
+        # Path first: --select is greedy (nargs="+").
+        code, text = self.run(
+            [str(clean_file), "--deep", "--select", "DET001"]
+        )
+        assert code == 2
+        assert "--select" in text
+
+    def test_sarif_output_parses(self, taint_pkg):
+        code, text = self.run(["--deep", "--format", "sarif", str(taint_pkg)])
+        assert code == 1
+        doc = json.loads(text)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert any(r["ruleId"] == "TNT002" for r in results)
+
+    def test_json_output_includes_trace(self, taint_pkg):
+        code, text = self.run(["--deep", "--format", "json", str(taint_pkg)])
+        doc = json.loads(text)
+        deep = [f for f in doc["findings"] if f["code"] == "TNT002"]
+        assert deep and deep[0]["trace"]
+
+    def test_cache_dir_speeds_warm_run(self, taint_pkg, tmp_path):
+        cache_dir = str(tmp_path / "lintcache")
+        argv = ["--deep", "--cache-dir", cache_dir, str(taint_pkg)]
+        cold_code, cold_text = self.run(argv)
+        warm_code, warm_text = self.run(argv)
+        assert cold_code == warm_code == 1
+        # Identical findings either way.
+        assert [
+            line for line in cold_text.splitlines() if "TNT" in line
+        ] == [line for line in warm_text.splitlines() if "TNT" in line]
+
+
+class TestBaselineWorkflow:
+    def run(self, argv):
+        import argparse
+
+        from repro.analysis.cli import add_lint_arguments, run_lint
+
+        parser = argparse.ArgumentParser()
+        add_lint_arguments(parser)
+        out = io.StringIO()
+        code = run_lint(parser.parse_args(argv), out=out)
+        return code, out.getvalue()
+
+    def test_update_then_gate(self, taint_pkg, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        # Accept current findings...
+        code, text = self.run(
+            ["--deep", "--baseline", baseline, "--update-baseline",
+             str(taint_pkg)]
+        )
+        assert code == 0 and "fingerprint(s)" in text
+        # ...then the gate passes while nothing new appears.
+        code, text = self.run(
+            ["--deep", "--baseline", baseline, str(taint_pkg)]
+        )
+        assert code == 0
+        assert "baselined" in text
+
+    def test_new_finding_still_fails(self, taint_pkg, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        self.run(
+            ["--deep", "--baseline", baseline, "--update-baseline",
+             str(taint_pkg)]
+        )
+        (taint_pkg / "extra.py").write_text("import random\n")
+        code, text = self.run(
+            ["--deep", "--baseline", baseline, str(taint_pkg)]
+        )
+        assert code == 1
+        assert "DET001" in text
+
+    def test_fixed_finding_reported_stale(self, taint_pkg, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        self.run(
+            ["--deep", "--baseline", baseline, "--update-baseline",
+             str(taint_pkg)]
+        )
+        (taint_pkg / "clock.py").write_text(
+            "def stamp():\n    return 0.0\n"
+        )
+        code, text = self.run(
+            ["--deep", "--baseline", baseline, str(taint_pkg)]
+        )
+        assert code == 0
+        assert "stale" in text
+
+    def test_corrupt_baseline_exits_two(self, clean_file, tmp_path):
+        baseline = tmp_path / "corrupt.json"
+        baseline.write_text("{broken")
+        code, text = self.run(
+            ["--deep", "--baseline", str(baseline), str(clean_file)]
+        )
+        assert code == 2
+        assert "error" in text

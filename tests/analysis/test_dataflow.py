@@ -1,0 +1,444 @@
+"""Tests for the whole-program taint + filesystem analysis (--deep).
+
+The fixtures are small on-disk packages (module resolution is
+path-based), each encoding one flow the analysis must catch — or must
+*not* catch, for the sanitized negatives.  Two of them reproduce bugs
+this repo actually shipped: the non-atomic cache publish (FS001/FS003)
+and a wall-clock value reaching run identity (TNT001).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.dataflow import (
+    ANALYZER_VERSION,
+    Program,
+    SummaryCache,
+    analyze_paths,
+    extract_module,
+    source_digest,
+)
+
+
+def write_pkg(root, name, files):
+    """Create package ``name`` under ``root`` from {module: source}."""
+    pkg = root / name
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for module, source in files.items():
+        (pkg / f"{module}.py").write_text(textwrap.dedent(source))
+    return pkg
+
+
+def run_deep(path, **kwargs):
+    report = analyze_paths([path], **kwargs)
+    assert not report.errors, report.errors
+    return report
+
+
+def finding_codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestCrossFileTaint:
+    def test_wall_clock_through_helper_into_cache_payload(self, tmp_path):
+        """time.time() -> helper return -> dict -> cache.put: TNT002."""
+        pkg = write_pkg(tmp_path, "flowpkg", {
+            "clock": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+            "runner": """
+                from flowpkg.clock import stamp
+
+                def run(cache, cfg):
+                    payload = {"cfg": cfg, "when": stamp()}
+                    cache.put(cfg, payload)
+            """,
+        })
+        report = run_deep(pkg)
+        # DET002 still fires per-line on the time.time() call; the
+        # deep pass adds the flow finding.
+        assert sorted(finding_codes(report)) == ["DET002", "TNT002"]
+        (finding,) = [f for f in report.findings if f.code == "TNT002"]
+        # Anchored at the *source*, traced to the sink.
+        assert finding.path.endswith("clock.py")
+        assert finding.anchor == "wall-clock"
+        trace_files = {step[0].rsplit("/", 1)[-1] for step in finding.trace}
+        assert trace_files == {"clock.py", "runner.py"}
+        assert "cache.put" in finding.trace[-1][2]
+
+    def test_wall_clock_seed_into_config_kwarg(self, tmp_path):
+        """int(time.time()) -> SystemConfig(seed=...): the PR-3-class
+        run-identity poisoning, caught as TNT001."""
+        pkg = write_pkg(tmp_path, "seedpkg", {
+            "config": """
+                class SystemConfig:
+                    def __init__(self, seed=0, channels=1):
+                        self.seed = seed
+                        self.channels = channels
+            """,
+            "driver": """
+                import time
+                from seedpkg.config import SystemConfig
+
+                def fresh_config(channels):
+                    seed = int(time.time())
+                    return SystemConfig(seed=seed, channels=channels)
+            """,
+        })
+        report = run_deep(pkg)
+        assert "TNT001" in finding_codes(report)
+        (finding,) = [f for f in report.findings if f.code == "TNT001"]
+        assert finding.severity.value == "error"
+        assert "seed" in " ".join(step[2] for step in finding.trace)
+
+    def test_pid_into_journal_record(self, tmp_path):
+        pkg = write_pkg(tmp_path, "jpkg", {
+            "journal": """
+                import os
+
+                class BatchJournal:
+                    def record_complete(self, doc):
+                        self._write_line(doc)
+
+                    def _write_line(self, doc):
+                        pass
+
+                def note(journal):
+                    journal.record_complete({"worker": os.getpid()})
+            """,
+        })
+        report = run_deep(pkg)
+        assert "TNT003" in finding_codes(report)
+
+    def test_sorted_listing_is_clean(self, tmp_path):
+        """sorted(os.listdir()) into a cache key: order laundered."""
+        pkg = write_pkg(tmp_path, "cleanpkg", {
+            "keys": """
+                import os
+
+                def cache_key(parts):
+                    return hash(tuple(parts))
+
+                def key_of(d):
+                    return cache_key(sorted(os.listdir(d)))
+            """,
+        })
+        assert finding_codes(run_deep(pkg)) == []
+
+    def test_unsorted_listing_into_key_flagged_as_warning(self, tmp_path):
+        pkg = write_pkg(tmp_path, "orderpkg", {
+            "keys": """
+                import os
+
+                def cache_key(parts):
+                    return hash(tuple(parts))
+
+                def key_of(d):
+                    return cache_key(os.listdir(d))
+            """,
+        })
+        report = run_deep(pkg)
+        # DET006 (per-line) and TNT001 (flow) both see it; the order
+        # taint is heuristic, so the TNT finding is a warning.
+        tnt = [f for f in report.findings if f.code == "TNT001"]
+        assert len(tnt) == 1
+        assert tnt[0].severity.value == "warning"
+
+    def test_sorting_does_not_launder_value_taint(self, tmp_path):
+        pkg = write_pkg(tmp_path, "valpkg", {
+            "keys": """
+                import time
+
+                def cache_key(parts):
+                    return hash(tuple(parts))
+
+                def key_of():
+                    return cache_key(sorted([time.time()]))
+            """,
+        })
+        assert "TNT001" in finding_codes(run_deep(pkg))
+
+    def test_taint_through_instance_attribute(self, tmp_path):
+        pkg = write_pkg(tmp_path, "attrpkg", {
+            "worker": """
+                import time
+
+                def cache_key(x):
+                    return hash(x)
+
+                class Worker:
+                    def __init__(self):
+                        self.stamp = time.time()
+
+                    def key(self):
+                        return cache_key(self.stamp)
+            """,
+        })
+        assert "TNT001" in finding_codes(run_deep(pkg))
+
+    def test_deferred_default_factory_source(self, tmp_path):
+        pkg = write_pkg(tmp_path, "facpkg", {
+            "manifest": """
+                import time
+                from dataclasses import dataclass, field
+
+                @dataclass
+                class Manifest:
+                    created: float = field(default_factory=time.time)
+
+                    def log(self, journal):
+                        journal.record_complete({"created": self.created})
+            """,
+        })
+        report = run_deep(pkg)
+        assert "TNT003" in finding_codes(report)
+        (finding,) = [f for f in report.findings if f.code == "TNT003"]
+        assert "deferred" in finding.message
+
+
+class TestFilesystemRules:
+    def test_pr6_shape_nonatomic_publish(self, tmp_path):
+        """exists() then a direct write into cache_dir: the shipped
+        publish-race bug shape — FS001 (torn write) + FS003 (TOCTOU)."""
+        pkg = write_pkg(tmp_path, "fspkg", {
+            "cache": """
+                import json
+
+                def publish(cache_dir, name, payload):
+                    path = cache_dir / name
+                    if path.exists():
+                        return False
+                    with open(path, "w") as fh:
+                        json.dump(payload, fh)
+                    return True
+            """,
+        })
+        report = run_deep(pkg)
+        assert sorted(finding_codes(report)) == ["FS001", "FS003"]
+
+    def test_atomic_publish_is_clean(self, tmp_path):
+        pkg = write_pkg(tmp_path, "fsok", {
+            "cache": """
+                import json
+                import os
+
+                def publish(cache_dir, name, payload):
+                    path = cache_dir / name
+                    if path.exists():
+                        return False
+                    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+                    with open(tmp, "w") as fh:
+                        json.dump(payload, fh)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    try:
+                        os.link(tmp, path)
+                    except FileExistsError:
+                        return False
+                    finally:
+                        os.unlink(tmp)
+                    return True
+            """,
+        })
+        assert finding_codes(run_deep(pkg)) == []
+
+    def test_replace_without_fsync(self, tmp_path):
+        pkg = write_pkg(tmp_path, "fsr", {
+            "index": """
+                import json
+                import os
+
+                def save_index(index_path, doc):
+                    tmp = index_path.with_name(
+                        f"{index_path.name}.{os.getpid()}.tmp")
+                    with open(tmp, "w") as fh:
+                        json.dump(doc, fh)
+                    os.replace(tmp, index_path)
+            """,
+        })
+        assert finding_codes(run_deep(pkg)) == ["FS002"]
+
+    def test_collidable_shared_tempfile(self, tmp_path):
+        pkg = write_pkg(tmp_path, "fst", {
+            "spool": """
+                def stage(store_dir, payload):
+                    tmp = store_dir / "staging.tmp"
+                    tmp.write_text(payload)
+            """,
+        })
+        report = run_deep(pkg)
+        assert "FS004" in finding_codes(report)
+
+    def test_unshared_write_is_clean(self, tmp_path):
+        pkg = write_pkg(tmp_path, "fsu", {
+            "export": """
+                def export_csv(out_path, rows):
+                    with open(out_path, "w") as fh:
+                        for row in rows:
+                            fh.write(row + "\\n")
+            """,
+        })
+        assert finding_codes(run_deep(pkg)) == []
+
+
+class TestPragmas:
+    def test_suppression_at_source_line(self, tmp_path):
+        pkg = write_pkg(tmp_path, "prag1", {
+            "mod": """
+                import time
+
+                def cache_key(x):
+                    return hash(x)
+
+                def key():
+                    t = time.time()  # repro: allow(TNT001, DET002) fixture
+                    return cache_key(t)
+            """,
+        })
+        assert finding_codes(run_deep(pkg)) == []
+
+    def test_suppression_at_sink_line(self, tmp_path):
+        pkg = write_pkg(tmp_path, "prag2", {
+            "mod": """
+                import time
+
+                def cache_key(x):
+                    return hash(x)
+
+                def key():
+                    t = time.time()  # repro: allow(DET002) fixture
+                    return cache_key(t)  # repro: allow(TNT001) fixture
+            """,
+        })
+        assert finding_codes(run_deep(pkg)) == []
+
+    def test_unused_tnt_pragma_reported_in_deep_run(self, tmp_path):
+        pkg = write_pkg(tmp_path, "prag3", {
+            "mod": """
+                def f(x):  # repro: allow(TNT001) nothing here
+                    return x
+            """,
+        })
+        report = run_deep(pkg)
+        assert finding_codes(report) == ["DET000"]
+
+
+class TestSummaryCache:
+    def test_warm_run_hits_for_every_file(self, tmp_path):
+        pkg = write_pkg(tmp_path, "cpkg", {
+            "a": "def f(x):\n    return x\n",
+            "b": "def g(x):\n    return x\n",
+        })
+        cache = SummaryCache(tmp_path / "cache")
+        cold = analyze_paths([pkg], cache=cache)
+        assert cold.cache_misses == 3  # __init__, a, b
+        assert cold.cache_hits == 0
+        warm = analyze_paths([pkg], cache=cache)
+        assert warm.cache_hits == cold.cache_misses + cold.cache_hits
+        assert warm.cache_misses == cold.cache_misses  # counter carries over
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        pkg = write_pkg(tmp_path, "epkg", {
+            "clock": """
+                import time
+
+                def stamp():
+                    return 0.0
+            """,
+            "runner": """
+                from epkg.clock import stamp
+
+                def run(cache, cfg):
+                    cache.put(cfg, {"when": stamp()})
+            """,
+        })
+        cache = SummaryCache(tmp_path / "cache")
+        first = analyze_paths([pkg], cache=cache)
+        assert finding_codes(first) == []
+        # Introduce the bug in one file; the other two stay cached.
+        (pkg / "clock.py").write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n"
+        )
+        cache.hits = cache.misses = 0
+        second = analyze_paths([pkg], cache=cache)
+        assert cache.hits == 2 and cache.misses == 1
+        # The cross-file finding appears even though runner.py came
+        # from cache: the solve is global.
+        assert sorted(finding_codes(second)) == ["DET002", "TNT002"]
+
+    def test_digest_covers_analyzer_version(self, tmp_path):
+        source = "x = 1\n"
+        d1 = source_digest(source, "m.py")
+        assert d1 == source_digest(source, "m.py")
+        assert d1 != source_digest(source + "\n", "m.py")
+        assert d1 != source_digest(source, "other.py")
+        assert f"{ANALYZER_VERSION}:" in f"{ANALYZER_VERSION}:m.py:"
+
+    def test_summary_roundtrips_through_cache(self, tmp_path):
+        source = (
+            "import time\n\n"
+            "def cache_key(x):\n    return hash(x)\n\n"
+            "def key():\n    return cache_key(time.time())\n"
+        )
+        summary = extract_module(source, "rt.py")
+        cache = SummaryCache(tmp_path)
+        cache.put(summary)
+        loaded = cache.get(summary.digest)
+        assert loaded is not None
+        # Findings from the reloaded summary match the fresh one.
+        fresh = [f.render() for f in Program([summary]).solve()]
+        reloaded = [f.render() for f in Program([loaded]).solve()]
+        assert fresh == reloaded and fresh
+
+
+class TestReportShape:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = analyze_paths([bad])
+        assert report.errors and not report.ok
+
+    def test_det_rules_included_in_deep_run(self, tmp_path):
+        pkg = write_pkg(tmp_path, "detpkg", {
+            "mod": "import random\n",
+        })
+        assert "DET001" in finding_codes(run_deep(pkg))
+
+    def test_deterministic_output_order(self, tmp_path):
+        pkg = write_pkg(tmp_path, "ordpkg", {
+            "m1": "import random\nimport time\nt = time.time()\n",
+            "m2": "import random\n",
+        })
+        first = [f.render() for f in run_deep(pkg).findings]
+        second = [f.render() for f in run_deep(pkg).findings]
+        assert first == second
+        assert first == sorted(first)
+
+
+@pytest.mark.parametrize("source,expected", [
+    # Conservative passthrough: unresolved call with tainted arg.
+    (
+        "import time\n\n"
+        "def cache_key(x):\n    return hash(x)\n\n"
+        "def key(fmt):\n    return cache_key(fmt(time.time()))\n",
+        ["TNT001"],
+    ),
+    # Taint dies when not passed anywhere.
+    (
+        "import time\n\n"
+        "def cache_key(x):\n    return hash(x)\n\n"
+        "def key(v):\n    t = time.time()\n    return cache_key(v)\n",
+        [],
+    ),
+])
+def test_propagation_edges(tmp_path, source, expected):
+    path = tmp_path / "edge.py"
+    path.write_text(source)
+    report = analyze_paths([path])
+    tnt = [f.code for f in report.findings if f.code.startswith("TNT")]
+    assert tnt == expected

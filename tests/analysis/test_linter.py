@@ -51,9 +51,35 @@ class TestFramework:
         assert allowed == {1: frozenset({"DET001", "DET006"})}
 
     def test_pragma_only_suppresses_named_code(self):
-        # The pragma names DET006 but the line trips DET001.
+        # The pragma names DET006 but the line trips DET001: DET001 is
+        # reported, and the DET006 suppression is flagged as unused.
         findings = lint_source("import random  # repro: allow(DET006)\n")
+        assert [f.code for f in findings] == ["DET000", "DET001"]
+
+    def test_unused_pragma_flagged(self):
+        findings = lint_source("x = 1  # repro: allow(DET002) stale\n")
+        assert [f.code for f in findings] == ["DET000"]
+        assert "DET002" in findings[0].message
+
+    def test_used_pragma_not_flagged_unused(self):
+        assert codes("import random  # repro: allow(DET001) ok\n") == []
+
+    def test_unran_codes_never_flagged_unused(self):
+        # A TNT pragma survives a shallow run untouched: the taint
+        # rules didn't execute, so "unused" cannot be determined.
+        assert codes("x = 1  # repro: allow(TNT001) deep-only\n") == []
+
+    def test_docstring_pragma_example_ignored(self):
+        # A pragma *mentioned* in a docstring or quoting comment is
+        # neither a suppression nor an unused-pragma finding.
+        source = '"""Example: # repro: allow(DET001)."""\nimport random\n'
+        findings = lint_source(source)
         assert [f.code for f in findings] == ["DET001"]
+
+    def test_quoting_comment_not_a_pragma(self):
+        # The pragma must start the comment; prose quoting the syntax
+        # (like linter.py's own docs) does not count.
+        assert codes("x = 1  #: use ``# repro: allow(DET001)`` here\n") == []
 
     def test_rule_subset_selection(self):
         rules = [r for r in all_rules() if r.code == "DET002"]

@@ -1,0 +1,165 @@
+"""Tests for SARIF 2.1.0 output.
+
+Full fidelity against the published schema needs the schema file (not
+vendored); these tests validate the structural subset that matters —
+required top-level members, rule catalog completeness, result shape,
+and codeFlow traces — via :mod:`jsonschema` with an embedded schema
+capturing SARIF 2.1.0's structural requirements.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.fs_rules import FS_RULES
+from repro.analysis.linter import Finding, Severity, all_rules
+from repro.analysis.sarif import SARIF_VERSION, rule_catalog, to_sarif
+from repro.analysis.taint_rules import TNT_RULES
+
+jsonschema = pytest.importorskip("jsonschema")
+
+#: The load-bearing subset of the SARIF 2.1.0 schema: everything a
+#: consumer (code host, CI annotator) requires to ingest the log.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation"
+                                                ],
+                                            }
+                                        },
+                                    },
+                                },
+                                "codeFlows": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["threadFlows"],
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def deep_finding():
+    return Finding(
+        path="src/m.py", line=3, col=1, code="TNT001",
+        message="wall-clock reaches cache key",
+        severity=Severity.ERROR, anchor="wall-clock",
+        trace=(
+            ("src/m.py", 3, "wall-clock time.time()"),
+            ("src/m.py", 4, "t = ..."),
+            ("src/n.py", 9, "cache-key computation"),
+        ),
+    )
+
+
+def shallow_finding():
+    return Finding(
+        path="src/m.py", line=1, col=1, code="DET001",
+        message="raw random import", severity=Severity.ERROR,
+    )
+
+
+class TestDocument:
+    def test_validates_against_subset_schema(self):
+        doc = to_sarif([deep_finding(), shallow_finding()])
+        jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+
+    def test_empty_report_validates(self):
+        jsonschema.validate(to_sarif([]), SARIF_SUBSET_SCHEMA)
+
+    def test_version_and_json_serializable(self):
+        doc = to_sarif([deep_finding()])
+        assert doc["version"] == SARIF_VERSION
+        json.dumps(doc)  # no sets, enums, or other non-JSON types
+
+    def test_rule_catalog_covers_every_family(self):
+        ids = {rule["id"] for rule in rule_catalog()}
+        assert {r.code for r in all_rules()} <= ids
+        assert set(TNT_RULES) <= ids
+        assert set(FS_RULES) <= ids
+        assert "DET000" in ids
+
+    def test_result_carries_fingerprint_and_level(self):
+        doc = to_sarif([deep_finding()])
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "TNT001"
+        assert result["level"] == "error"
+        assert result["partialFingerprints"]["reproLint/v1"] == (
+            deep_finding().fingerprint
+        )
+
+    def test_trace_becomes_code_flow(self):
+        doc = to_sarif([deep_finding()])
+        (result,) = doc["runs"][0]["results"]
+        locations = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(locations) == 3
+        first = locations[0]["location"]["physicalLocation"]
+        assert first["artifactLocation"]["uri"] == "src/m.py"
+        assert first["region"]["startLine"] == 3
+
+    def test_shallow_finding_has_no_code_flow(self):
+        doc = to_sarif([shallow_finding()])
+        (result,) = doc["runs"][0]["results"]
+        assert "codeFlows" not in result

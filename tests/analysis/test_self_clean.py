@@ -6,9 +6,12 @@ test-suite copy means a plain ``pytest`` run catches regressions too.
 
 from pathlib import Path
 
+from repro.analysis.baseline import DEFAULT_BASELINE, apply_baseline, load_baseline
+from repro.analysis.dataflow import analyze_paths
 from repro.analysis.linter import lint_paths
 
-SRC = Path(__file__).resolve().parents[2] / "src"
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
 
 
 def test_source_tree_is_lint_clean():
@@ -16,3 +19,18 @@ def test_source_tree_is_lint_clean():
     assert report.files_checked > 50
     rendered = "\n".join(f.render() for f in report.findings)
     assert report.ok, f"unsuppressed findings:\n{rendered}\n{report.errors}"
+
+
+def test_source_tree_is_deep_clean():
+    """The whole-program analysis must pass against the committed
+    baseline — new taint flows or filesystem races fail the suite."""
+    report = analyze_paths([SRC])
+    assert report.files_checked > 50
+    baseline = load_baseline(ROOT / DEFAULT_BASELINE)
+    new, _suppressed, _stale = apply_baseline(report.findings, baseline)
+    rendered = "\n".join(
+        f.render() + "\n" + "\n".join(f.render_trace()) for f in new
+    )
+    assert not new and not report.errors, (
+        f"non-baselined deep findings:\n{rendered}\n{report.errors}"
+    )
