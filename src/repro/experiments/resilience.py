@@ -388,6 +388,13 @@ def execute_jobs(
         queue = deque(sorted(pending))
         while queue:
             state = states[queue.popleft()]
+            if fault_plan is not None:
+                # Service-scope faults fire in (and may kill or crash)
+                # the owning process itself — deliberately outside the
+                # per-job retry handling below.
+                fault_plan.maybe_fire_service(
+                    state.job_id, state.apps, state.attempts
+                )
             try:
                 if fault_plan is not None:
                     fault_plan.maybe_fire(
@@ -445,6 +452,13 @@ def execute_jobs(
                 # start while it is still queued behind busy workers.
                 while queue and len(inflight) < workers:
                     state = states[queue.popleft()]
+                    if fault_plan is not None:
+                        # Dispatch-time, in the owning process: this is
+                        # where a service-scope sigkill takes the whole
+                        # daemon down mid-campaign.
+                        fault_plan.maybe_fire_service(
+                            state.job_id, state.apps, state.attempts
+                        )
                     future = pool.submit(
                         _attempt_in_worker,
                         simulate,

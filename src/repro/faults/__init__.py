@@ -32,6 +32,20 @@ Fault kinds
 ``delay``
     Sleep for ``seconds`` and then run normally — latency without
     failure, for shaking out ordering assumptions.
+``sigkill``
+    ``kill -9`` semantics: the process hosting the fault dies by
+    ``SIGKILL`` — no cleanup, no atexit, no Python teardown.  In a
+    pool worker this is the harshest worker death available; with
+    ``scope="service"`` it kills the *owning* process (the scheduler
+    daemon, and with it the HTTP API), which is how the chaos-service
+    harness deterministically murders a live deployment mid-campaign.
+
+Fault *scope* selects where a spec fires.  ``scope="job"`` (the
+default) fires at the top of a job attempt, inside the pool worker
+when pooled.  ``scope="service"`` fires in the owning process at the
+moment the matching job is about to be dispatched — the knob for
+killing, hanging, or crashing the scheduler/API process itself at a
+deterministic point in a campaign.
 
 Cache-corruption helpers (:func:`corrupt_cache_entry`) truncate,
 garbage, or type-confuse a persistent ``ResultCache`` entry in place so
@@ -48,6 +62,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import signal
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -59,7 +74,9 @@ from repro.common.rng import child_rng
 #: Environment variable naming a JSON fault-plan file (CLI chaos runs).
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
-_KINDS = ("exception", "crash", "hang", "delay")
+_KINDS = ("exception", "crash", "hang", "delay", "sigkill")
+
+_SCOPES = ("job", "service")
 
 
 class InjectedFault(ReproError):
@@ -87,7 +104,9 @@ class FaultSpec:
     beware: an every-attempt fatal fault makes a job unrecoverable,
     which is occasionally exactly what a test wants).  ``rate`` < 1
     makes the fault probabilistic, decided deterministically from the
-    plan seed and job identity.
+    plan seed and job identity.  ``scope`` is ``"job"`` (fires where
+    the job attempt runs) or ``"service"`` (fires in the owning
+    process as the job is dispatched — kills/hangs the daemon itself).
     """
 
     kind: str
@@ -97,11 +116,16 @@ class FaultSpec:
     rate: float = 1.0
     seconds: float = 30.0
     exit_code: int = 23
+    scope: str = "job"
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.scope not in _SCOPES:
+            raise ValueError(
+                f"unknown fault scope {self.scope!r}; expected one of {_SCOPES}"
             )
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
@@ -164,10 +188,16 @@ class FaultPlan:
     # firing
 
     def pick(
-        self, job_id: str, apps: Sequence[str], attempt: int
+        self,
+        job_id: str,
+        apps: Sequence[str],
+        attempt: int,
+        scope: str = "job",
     ) -> FaultSpec | None:
-        """The first spec that fires for this job/attempt, if any."""
+        """The first ``scope`` spec that fires for this job/attempt."""
         for spec in self.specs:
+            if spec.scope != scope:
+                continue
             if spec.should_fire(self.seed, job_id, apps, attempt):
                 return spec
         return None
@@ -179,13 +209,13 @@ class FaultPlan:
         attempt: int,
         in_worker: bool,
     ) -> None:
-        """Inject the planned fault for this job/attempt, if any.
+        """Inject the planned job-scope fault for this job/attempt, if any.
 
         Called by the resilience executor at the top of every job
         attempt — in the pool worker for pooled execution, in the
-        parent for serial execution (where ``crash`` degrades to
-        :class:`InjectedCrash` because killing the parent would take
-        the whole batch down, journal and all).
+        parent for serial execution (where ``crash`` and ``sigkill``
+        degrade to :class:`InjectedCrash` because killing the parent
+        would take the whole batch down, journal and all).
         """
         spec = self.pick(job_id, apps, attempt)
         if spec is None:
@@ -193,10 +223,40 @@ class FaultPlan:
         detail = f"{spec.kind} fault (job {job_id[:16]}, attempt {attempt})"
         if spec.kind == "exception":
             raise InjectedFault(f"injected {detail}")
-        if spec.kind == "crash":
+        if spec.kind in ("crash", "sigkill"):
             if in_worker:
+                if spec.kind == "sigkill":
+                    os.kill(os.getpid(), signal.SIGKILL)
                 os._exit(spec.exit_code)
             raise InjectedCrash(f"injected {detail}")
+        if spec.kind in ("hang", "delay"):
+            time.sleep(spec.seconds)
+
+    def maybe_fire_service(
+        self, job_id: str, apps: Sequence[str], attempt: int
+    ) -> None:
+        """Inject the planned ``scope="service"`` fault, if any.
+
+        Called by the resilience executor *in the owning process* as a
+        job is dispatched, whatever the execution mode — the hook the
+        chaos-service harness uses to kill the scheduler daemon (and
+        its HTTP API) at a deterministic point in a campaign.
+        ``sigkill`` is taken literally here: the process dies by
+        SIGKILL mid-batch, exactly like an external ``kill -9``.
+        """
+        spec = self.pick(job_id, apps, attempt, scope="service")
+        if spec is None:
+            return
+        detail = (
+            f"service-scope {spec.kind} fault "
+            f"(job {job_id[:16]}, attempt {attempt})"
+        )
+        if spec.kind == "exception":
+            raise InjectedFault(f"injected {detail}")
+        if spec.kind == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if spec.kind == "crash":
+            os._exit(spec.exit_code)
         if spec.kind in ("hang", "delay"):
             time.sleep(spec.seconds)
 

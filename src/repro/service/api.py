@@ -11,7 +11,8 @@ lock makes the enqueue exactly-once.
 Endpoints (JSON unless noted):
 
 ====================================  =====================================
-``GET /healthz``                      liveness + store/queue summary
+``GET /healthz``                      liveness + queue/lease/store summary
+``GET /readyz``                       readiness (503 while degraded/full)
 ``GET /metrics``                      Prometheus text format
 ``GET /results/<key>``                result envelope (state, size, sha256)
 ``GET /results/<key>/payload``        the pickled MixResult, byte-exact
@@ -26,6 +27,29 @@ one job, or ``{"campaign": {"experiment": "fig10", "mixes": [...],
 (``done`` | ``queued`` | ``running`` | ``failed``) and the
 content-addressed ``key`` to fetch.
 
+Hardening (see docs/robustness.md for the failure-mode matrix):
+
+* **Admission control.**  Submits are bounded by
+  :class:`AdmissionPolicy`: a full queue sheds with ``429`` +
+  ``Retry-After`` instead of accepting unbounded work, and a request
+  whose ``X-Deadline-S`` the service cannot possibly meet (a cold key
+  must simulate) is refused with ``503`` immediately rather than
+  enqueued to be thrown away.
+* **Graceful degradation.**  A scheduler crash flips the API to
+  read-only: every GET and every warm-path submit keeps serving the
+  content-addressed store, while cold submits fail fast with ``503``
+  + ``Retry-After`` — warm reads stay up, writes never hang on a dead
+  worker.  ``GET /readyz`` answers 503 in this state (and when
+  shedding), so a load balancer drains the instance while ``/healthz``
+  keeps reporting what is wrong.
+* **Idempotent submits.**  ``POST /jobs`` may carry an
+  ``X-Idempotency-Key`` header holding the client-computed
+  content-addressed job key; the server recomputes it from the body
+  and answers ``409`` on mismatch (config-codec drift — retrying
+  would target the wrong entry).  Because the key is derived from the
+  job content, blind client retries of the same submit are always
+  safe: they land on the same ticket.
+
 Payloads are Python pickles (that is what makes the served result
 bit-identical to a local run); bind the server to loopback or a
 trusted network only — see docs/service.md.
@@ -38,8 +62,9 @@ import logging
 import threading
 import time
 from collections import OrderedDict
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.service.jobs import JobSpec, campaign_names, config_from_dict
 from repro.service.scheduler import CampaignScheduler
@@ -50,6 +75,32 @@ log = logging.getLogger("repro.service.api")
 
 #: Default capacity (entries) of the in-memory warm-path LRU.
 DEFAULT_LRU_ENTRIES = 256
+
+#: Request header carrying the client-computed content-addressed key.
+IDEMPOTENCY_HEADER = "X-Idempotency-Key"
+
+#: Request header carrying the client's result deadline (seconds).
+DEADLINE_HEADER = "X-Deadline-S"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backpressure knobs for the submit path.
+
+    ``max_queue_depth`` bounds accepted-but-unfinished work: a submit
+    that would push past it is shed with ``429``.  ``retry_after_s``
+    is the hint sent with every 429/503 (coarse on purpose — clients
+    add their own seeded jitter).  ``deadline_floor_s`` is the
+    fastest the service claims it could possibly simulate a cold key;
+    a request deadline below it is refused up front.
+    """
+
+    max_queue_depth: int = 64
+    retry_after_s: float = 1.0
+    deadline_floor_s: float = 0.0
+
+    def retry_after(self) -> dict[str, str]:
+        return {"Retry-After": str(max(1, int(round(self.retry_after_s))))}
 
 
 class PayloadLRU:
@@ -102,9 +153,11 @@ class ServiceApp:
         self,
         scheduler: CampaignScheduler,
         lru_entries: int = DEFAULT_LRU_ENTRIES,
+        admission: AdmissionPolicy | None = None,
     ) -> None:
         self.scheduler = scheduler
         self.store = scheduler.store
+        self.admission = admission if admission is not None else AdmissionPolicy()
         self.lru = PayloadLRU(lru_entries)
         self.registry = MetricRegistry()
         self._hits_warm = self.registry.counter("service.hits.warm")
@@ -113,7 +166,14 @@ class ServiceApp:
         self._enqueued = self.registry.counter("service.jobs.enqueued")
         self._requests = self.registry.counter("service.http.requests")
         self._errors = self.registry.counter("service.http.errors")
+        self._shed = self.registry.counter("service.http.shed")
+        self._read_only = self.registry.counter("service.http.read_only")
         self._latency_us = self.registry.histogram("service.latency_us")
+
+    @property
+    def read_only(self) -> bool:
+        """True once the scheduler can no longer run work (crash/stop)."""
+        return not self.scheduler.healthy
 
     # ------------------------------------------------------------------
     # payload access (the warm path)
@@ -134,14 +194,43 @@ class ServiceApp:
     # endpoint handlers
 
     def healthz(self) -> tuple[int, dict]:
+        """Liveness: always 200 while the process serves — the body
+        says *what state* it is serving in."""
         from repro import __version__
 
+        sched = self.scheduler
         return 200, {
-            "status": "ok",
+            "status": "read-only" if self.read_only else "ok",
             "version": __version__,
-            "queue_depth": self.scheduler.queue_depth,
+            "queue_depth": sched.queue_depth,
             "lru_entries": len(self.lru),
+            "jobs": sched.state_counts(),
+            "leases": sched.leases.states(),
+            "store": self.store.integrity(),
+            "supervision": sched.sup_stats.as_dict(),
         }
+
+    def readyz(self) -> tuple[int, dict, dict]:
+        """Readiness: 503 (with Retry-After) while degraded or full.
+
+        The signal a load balancer acts on: a read-only instance keeps
+        its warm reads reachable through ``/results``, but stops
+        receiving fresh traffic.
+        """
+        reasons = []
+        if self.read_only:
+            reasons.append("scheduler is down; serving read-only")
+        if self.scheduler.queue_depth >= self.admission.max_queue_depth:
+            reasons.append("submit queue is full")
+        doc = {
+            "ready": not reasons,
+            "reasons": reasons,
+            "queue_depth": self.scheduler.queue_depth,
+            "leases": self.scheduler.leases.states(),
+        }
+        if reasons:
+            return 503, doc, self.admission.retry_after()
+        return 200, doc, {}
 
     def metrics(self) -> tuple[int, str]:
         self.registry.set_gauges(
@@ -189,22 +278,109 @@ class ServiceApp:
             return 404, {"error": f"unknown campaign {cid}"}
         return 200, status
 
-    def submit(self, body: dict) -> tuple[int, dict]:
+    # ------------------------------------------------------------------
+    # admission control
+
+    @staticmethod
+    def _header(headers: Mapping[str, str] | None, name: str) -> str | None:
+        """Case-insensitive header lookup over dicts *and* Message."""
+        if headers is None:
+            return None
+        getter = getattr(headers, "get", None)
+        if getter is not None and not isinstance(headers, dict):
+            value = getter(name)  # email.message.Message: insensitive
+            return str(value) if value is not None else None
+        lowered = {k.lower(): v for k, v in headers.items()}
+        value = lowered.get(name.lower())
+        return str(value) if value is not None else None
+
+    def _shed_write(self) -> tuple[int, dict, dict] | None:
+        """The 503/429 answer for a cold submit, or None to admit it."""
+        if self.read_only:
+            self._read_only.add()
+            self.scheduler.sup_stats.read_only_rejections += 1
+            return (
+                503,
+                {
+                    "error": "service is read-only (scheduler is down); "
+                    "stored results remain available",
+                    "read_only": True,
+                },
+                self.admission.retry_after(),
+            )
+        if self.scheduler.queue_depth >= self.admission.max_queue_depth:
+            self._shed.add()
+            self.scheduler.sup_stats.shed += 1
+            return (
+                429,
+                {
+                    "error": "submit queue is full",
+                    "queue_depth": self.scheduler.queue_depth,
+                    "max_queue_depth": self.admission.max_queue_depth,
+                },
+                self.admission.retry_after(),
+            )
+        return None
+
+    def _refuse_deadline(
+        self, headers: Mapping[str, str] | None
+    ) -> tuple[int, dict, dict] | None:
+        """Refuse a cold submit whose deadline cannot be met."""
+        raw = self._header(headers, DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            deadline_s = float(raw)
+        except ValueError:
+            return 400, {"error": f"bad {DEADLINE_HEADER} value {raw!r}"}, {}
+        if deadline_s <= 0 or deadline_s < self.admission.deadline_floor_s:
+            self.scheduler.sup_stats.deadline_rejections += 1
+            return (
+                503,
+                {
+                    "error": (
+                        f"deadline {deadline_s}s cannot be met for a cold "
+                        "key (result must be simulated)"
+                    ),
+                    "deadline_floor_s": self.admission.deadline_floor_s,
+                },
+                self.admission.retry_after(),
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # submission
+
+    def submit(
+        self, body: dict, headers: Mapping[str, str] | None = None
+    ) -> tuple[int, dict] | tuple[int, dict, dict]:
         if not isinstance(body, dict):
             return 400, {"error": "body must be a JSON object"}
         if "campaign" in body:
-            return self._submit_campaign(body["campaign"])
-        return self._submit_job(body)
+            return self._submit_campaign(body["campaign"], headers)
+        return self._submit_job(body, headers)
 
-    def _submit_job(self, body: dict) -> tuple[int, dict]:
+    def _submit_job(
+        self, body: dict, headers: Mapping[str, str] | None = None
+    ) -> tuple[int, dict] | tuple[int, dict, dict]:
         try:
             spec = JobSpec.from_dict(body)
         except (TypeError, ValueError, KeyError) as exc:
             return 400, {"error": f"bad job spec: {exc}"}
         key = self.store.key_for(spec.config, spec.apps)
+        claimed = self._header(headers, IDEMPOTENCY_HEADER)
+        if claimed is not None and claimed != key:
+            # The client's codec disagrees with ours about what this
+            # job *is*; retrying against the wrong key would be worse
+            # than failing loudly.
+            return 409, {
+                "error": "idempotency key mismatch (config codec drift?)",
+                "claimed": claimed,
+                "key": key,
+            }
         # Warm path: a stored result answers without waking the
         # scheduler — this is what "a hit never spawns a simulation"
-        # means operationally.
+        # means operationally.  It stays up in read-only mode.
         if self.lru.get(key) is not None or self.store.has(key):
             self._hits_warm.add()
             return 200, {
@@ -214,18 +390,28 @@ class ServiceApp:
                 "source": "warm",
                 "payload": f"/results/{key}/payload",
             }
+        refused = self._refuse_deadline(headers) or self._shed_write()
+        if refused is not None:
+            return refused
         self._misses.add()
         status = self.scheduler.submit_job(spec.config, spec.apps)
         if status["state"] == "queued":
             self._enqueued.add()
         return 202 if status["state"] in ("queued", "running") else 200, status
 
-    def _submit_campaign(self, body: dict) -> tuple[int, dict]:
+    def _submit_campaign(
+        self, body: dict, headers: Mapping[str, str] | None = None
+    ) -> tuple[int, dict] | tuple[int, dict, dict]:
         if not isinstance(body, dict) or "experiment" not in body:
             return 400, {
                 "error": "campaign spec needs an 'experiment' name",
                 "known": campaign_names(),
             }
+        refused = self._refuse_deadline(headers) or self._shed_write()
+        if refused is not None:
+            # A campaign always implies cold work somewhere; shed it
+            # whole rather than admit a fraction of a figure.
+            return refused
         try:
             config = config_from_dict(body.get("config") or {})
             status = self.scheduler.submit_campaign(
@@ -238,9 +424,13 @@ class ServiceApp:
     # ------------------------------------------------------------------
     # routing
 
-    def handle_get(self, path: str) -> tuple[int, dict | str | bytes]:
+    def handle_get(
+        self, path: str
+    ) -> tuple[int, dict | str | bytes] | tuple[int, dict | str | bytes, dict]:
         if path == "/healthz":
             return self.healthz()
+        if path == "/readyz":
+            return self.readyz()
         if path == "/metrics":
             return self.metrics()
         parts = [p for p in path.split("/") if p]
@@ -254,9 +444,14 @@ class ServiceApp:
             return self.campaign(parts[1])
         return 404, {"error": f"no such endpoint: {path}"}
 
-    def handle_post(self, path: str, body: dict) -> tuple[int, dict]:
+    def handle_post(
+        self,
+        path: str,
+        body: dict,
+        headers: Mapping[str, str] | None = None,
+    ) -> tuple[int, dict] | tuple[int, dict, dict]:
         if path == "/jobs":
-            return self.submit(body)
+            return self.submit(body, headers)
         return 404, {"error": f"no such endpoint: {path}"}
 
 
@@ -271,19 +466,23 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:
         log.debug("%s " + format, self.address_string(), *args)
 
-    def _respond(self, status: int, payload: dict | str | bytes) -> None:
+    def _respond(
+        self,
+        status: int,
+        payload: dict | str | bytes,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        extra = dict(headers) if headers else {}
         if isinstance(payload, bytes):
             body = payload
             content_type = "application/octet-stream"
-            extra = {"X-Payload-SHA256": payload_digest(payload)}
+            extra.setdefault("X-Payload-SHA256", payload_digest(payload))
         elif isinstance(payload, str):
             body = payload.encode()
             content_type = "text/plain; version=0.0.4; charset=utf-8"
-            extra = {}
         else:
             body = (json.dumps(payload, sort_keys=True) + "\n").encode()
             content_type = "application/json"
-            extra = {}
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -292,12 +491,19 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _timed(self, fn: Callable[[], tuple[int, dict | str | bytes]]) -> None:
+    def _timed(self, fn: Callable[[], tuple]) -> None:
         app = self.app
         app._requests.add()
         start = time.perf_counter()
+        headers: dict[str, str] | None = None
         try:
-            status, payload = fn()
+            answer = fn()
+            # Handlers return (status, payload) or (status, payload,
+            # headers) — the third slot carries Retry-After etc.
+            if len(answer) == 3:
+                status, payload, headers = answer
+            else:
+                status, payload = answer
         except Exception as exc:  # pragma: no cover - defensive surface
             log.exception("unhandled service error")
             app._errors.add()
@@ -307,20 +513,22 @@ class _Handler(BaseHTTPRequestHandler):
         )
         if status >= 400:
             app._errors.add()
-        self._respond(status, payload)
+        self._respond(status, payload, headers)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._timed(lambda: self.app.handle_get(self.path.split("?", 1)[0]))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        def run() -> tuple[int, dict]:
+        def run() -> tuple:
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b"{}"
             try:
                 body = json.loads(raw.decode() or "{}")
             except ValueError:
                 return 400, {"error": "body is not valid JSON"}
-            return self.app.handle_post(self.path.split("?", 1)[0], body)
+            return self.app.handle_post(
+                self.path.split("?", 1)[0], body, self.headers
+            )
 
         self._timed(run)
 
@@ -345,13 +553,19 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     lru_entries: int = DEFAULT_LRU_ENTRIES,
+    admission: AdmissionPolicy | None = None,
 ) -> ServiceServer:
     """Build a ready-to-``serve_forever`` server (port 0 = ephemeral)."""
-    return ServiceServer((host, port), ServiceApp(scheduler, lru_entries))
+    return ServiceServer(
+        (host, port), ServiceApp(scheduler, lru_entries, admission)
+    )
 
 
 __all__ = [
+    "AdmissionPolicy",
+    "DEADLINE_HEADER",
     "DEFAULT_LRU_ENTRIES",
+    "IDEMPOTENCY_HEADER",
     "PayloadLRU",
     "ServiceApp",
     "ServiceServer",

@@ -27,10 +27,12 @@ import types
 
 from repro.experiments.config import SystemConfig
 from repro.experiments.resilience import RetryPolicy
-from repro.service.api import DEFAULT_LRU_ENTRIES, make_server
+from repro.faults import FAULT_PLAN_ENV, plan_from_env
+from repro.service.api import AdmissionPolicy, DEFAULT_LRU_ENTRIES, make_server
 from repro.service.client import ServiceClient, ServiceError, write_server_info
 from repro.service.scheduler import CampaignScheduler
 from repro.service.store import ResultStore
+from repro.service.supervision import DEFAULT_LEASE_S
 
 #: Subcommand names this module owns (dispatched from the main CLI).
 SERVICE_COMMANDS = ("serve", "submit", "fetch", "campaign", "cache")
@@ -94,6 +96,25 @@ def add_service_parsers(sub: argparse._SubParsersAction) -> None:
     p.add_argument(
         "--lru", type=int, default=DEFAULT_LRU_ENTRIES, metavar="N",
         help="in-memory warm-path cache capacity, in results",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="admission limit: submits past this queue depth are shed "
+        "with 429 + Retry-After (default 64)",
+    )
+    p.add_argument(
+        "--lease", type=float, default=DEFAULT_LEASE_S, metavar="SECONDS",
+        help="per-job lease heartbeat budget; a batch landing no "
+        "result for this long is declared wedged and reclaimed",
+    )
+    p.add_argument(
+        "--max-requeues", type=int, default=1, metavar="N",
+        help="times a reclaimed job may requeue before failing "
+        "(default 1)",
+    )
+    p.add_argument(
+        "--no-supervise", action="store_true",
+        help="disable the lease supervisor thread (debugging only)",
     )
 
     p = sub.add_parser(
@@ -160,11 +181,29 @@ def add_service_parsers(sub: argparse._SubParsersAction) -> None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     policy = RetryPolicy(retries=args.retries, timeout_s=args.timeout)
+    fault_plan = plan_from_env()
+    if fault_plan is not None:
+        print(
+            f"[fault plan loaded from ${FAULT_PLAN_ENV}: "
+            f"{len(fault_plan.specs)} spec(s), seed {fault_plan.seed}]",
+            flush=True,
+        )
     scheduler = CampaignScheduler(
-        store, workers=args.workers, policy=policy, resume=args.resume
+        store,
+        workers=args.workers,
+        policy=policy,
+        resume=args.resume,
+        lease_s=args.lease,
+        supervise=not args.no_supervise,
+        max_requeues=args.max_requeues,
+        fault_plan=fault_plan,
     )
     server = make_server(
-        scheduler, host=args.host, port=args.port, lru_entries=args.lru
+        scheduler,
+        host=args.host,
+        port=args.port,
+        lru_entries=args.lru,
+        admission=AdmissionPolicy(max_queue_depth=args.max_queue),
     )
     write_server_info(args.store, server.url)
     scheduler.start()
@@ -186,6 +225,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         scheduler.stop()
+        print(
+            "[supervision] " + json.dumps(
+                scheduler.sup_stats.as_dict(), sort_keys=True
+            ),
+            flush=True,
+        )
     return 0
 
 

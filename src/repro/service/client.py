@@ -12,6 +12,22 @@ fig10 --remote-store DIR``) at one and the whole experiment becomes
 submit-poll-fetch — bit-identical to a local run, because the service
 executes the very same deterministic jobs and ships back the very same
 pickled :class:`~repro.experiments.runner.MixResult` bytes.
+
+The client survives the service not being there.  Transient failures
+(connection refused/reset, 429 shed, 503 read-only) raise
+:class:`ServiceUnavailable` and are retried through a
+:class:`CircuitBreaker` with *deterministic, seeded* backoff — the
+delay sequence is a pure function of the client seed and the attempt
+number (plus any server ``Retry-After`` hint), never of wall-clock
+randomness, so a figure driver interrupted by a service restart
+replays the same schedule every run.  Submits are idempotent: the
+client derives the content-addressed job key locally
+(:func:`repro.service.store.job_key`), sends it as
+``X-Idempotency-Key`` (the server 409s on codec drift), and therefore
+retries POSTs as safely as GETs — a resubmit lands on the same
+ticket.  A client built from ``store_dir`` re-discovers the advertised
+URL between retries, so it follows a restarted server onto its new
+ephemeral port.
 """
 
 from __future__ import annotations
@@ -25,10 +41,11 @@ import urllib.request
 from pathlib import Path
 from typing import Sequence
 
+from repro.common.rng import child_rng
 from repro.experiments.config import SystemConfig
 from repro.experiments.runner import MixResult, Runner
 from repro.service.jobs import config_to_dict
-from repro.service.store import payload_digest
+from repro.service.store import job_key, payload_digest
 
 #: Where ``repro serve`` advertises its ephemeral URL, relative to the
 #: store directory (see :func:`discover_url`).
@@ -37,6 +54,82 @@ SERVER_INFO = "service/server.json"
 
 class ServiceError(RuntimeError):
     """A service interaction failed (HTTP error, timeout, bad payload)."""
+
+
+class ServiceUnavailable(ServiceError):
+    """A *transient* service failure: worth retrying.
+
+    Raised for connection-level errors (nothing listening, reset) and
+    for the explicit backpressure answers (429 shed, 503 read-only /
+    not-ready), carrying the server's ``Retry-After`` hint when one
+    was sent.
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with deterministic seeded backoff.
+
+    After ``threshold`` consecutive transient failures the circuit
+    opens: calls fail fast (no socket) until the cooldown elapses,
+    then one probe is allowed through (half-open); its success closes
+    the circuit.  Cooldowns grow exponentially per trip with jitter
+    drawn from :func:`repro.common.rng.child_rng` — a pure function of
+    ``(seed, trip count)``, so two runs of the same driver against the
+    same flaky service back off identically.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        base_s: float = 0.05,
+        cap_s: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.seed = seed
+        self.failures = 0
+        self.trips = 0
+        self._open_until: float | None = None
+
+    def cooldown_s(self, trip: int) -> float:
+        """The (deterministic) cooldown for trip number ``trip``."""
+        jitter = child_rng(self.seed, f"breaker-trip:{trip}").random()
+        return min(self.cap_s, self.base_s * (2 ** (trip - 1)) * (1 + jitter))
+
+    @property
+    def state(self) -> str:
+        if self._open_until is None:
+            return "closed"
+        if time.monotonic() >= self._open_until:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        return self.state != "open"
+
+    def seconds_until_probe(self) -> float:
+        if self._open_until is None:
+            return 0.0
+        return max(0.0, self._open_until - time.monotonic())
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._open_until = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold or self._open_until is not None:
+            self.trips += 1
+            self._open_until = time.monotonic() + self.cooldown_s(self.trips)
 
 
 def write_server_info(store_dir: str | os.PathLike, url: str) -> Path:
@@ -78,40 +171,127 @@ class ServiceClient:
         url: str | None = None,
         store_dir: str | os.PathLike | None = None,
         timeout: float = 30.0,
+        retries: int = 8,
+        seed: int = 0,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if url is None:
             if store_dir is None:
                 raise ValueError("need url or store_dir")
             url = discover_url(store_dir)
         self.url = url.rstrip("/")
+        self.store_dir = Path(store_dir).expanduser() if store_dir else None
         self.timeout = timeout
+        self.retries = retries
+        self.seed = seed
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker(seed=seed)
+        )
 
     # ------------------------------------------------------------------
     # transport
 
-    def _request(self, path: str, data: bytes | None = None) -> tuple[bytes, dict]:
+    def _request_once(
+        self,
+        path: str,
+        data: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[bytes, dict]:
+        """One HTTP exchange; transient failures raise ServiceUnavailable."""
+        send_headers = dict(headers) if headers else {}
+        if data is not None:
+            send_headers.setdefault("Content-Type", "application/json")
         request = urllib.request.Request(
-            f"{self.url}{path}",
-            data=data,
-            headers={"Content-Type": "application/json"} if data else {},
+            f"{self.url}{path}", data=data, headers=send_headers
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
                 return resp.read(), dict(resp.headers)
         except urllib.error.HTTPError as exc:
             detail = exc.read().decode(errors="replace").strip()
-            raise ServiceError(
-                f"{path} -> HTTP {exc.code}: {detail or exc.reason}"
-            ) from exc
+            message = f"{path} -> HTTP {exc.code}: {detail or exc.reason}"
+            if exc.code in (429, 503):
+                retry_after = None
+                raw = exc.headers.get("Retry-After") if exc.headers else None
+                if raw is not None:
+                    try:
+                        retry_after = float(raw)
+                    except ValueError:
+                        retry_after = None
+                raise ServiceUnavailable(message, retry_after) from exc
+            raise ServiceError(message) from exc
         except urllib.error.URLError as exc:
-            raise ServiceError(f"{path} -> {exc.reason}") from exc
+            # Connection refused/reset, DNS, socket timeout: the
+            # service is (momentarily) not there.
+            raise ServiceUnavailable(f"{path} -> {exc.reason}") from exc
 
-    def _json(self, path: str, body: dict | None = None) -> dict:
+    def _backoff_s(self, attempt: int, hint: float | None) -> float:
+        """Deterministic delay before retry ``attempt`` (0-based)."""
+        jitter = child_rng(self.seed, f"retry:{attempt}").random()
+        delay = min(2.0, 0.05 * (2**attempt) * (1 + jitter))
+        if hint is not None:
+            delay = max(delay, min(hint, 5.0))
+        return delay
+
+    def _rediscover(self) -> None:
+        """Follow a restarted server onto its newly advertised URL."""
+        if self.store_dir is None:
+            return
+        try:
+            self.url = discover_url(self.store_dir).rstrip("/")
+        except ServiceError:
+            pass  # no advertisement yet; retry against the old URL
+
+    def _request(
+        self,
+        path: str,
+        data: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[bytes, dict]:
+        """Breaker-guarded, retrying transport.
+
+        Every request through here is idempotent — GETs trivially,
+        POST submits by content-addressed key — so blind retries are
+        safe.  Retry delays come from :meth:`_backoff_s` (seeded,
+        deterministic); an open breaker fails fast without a socket.
+        """
+        last: ServiceUnavailable | None = None
+        for attempt in range(self.retries + 1):
+            if not self.breaker.allow():
+                wait = self.breaker.seconds_until_probe()
+                if attempt >= self.retries:
+                    break
+                time.sleep(min(wait, 5.0) if wait > 0 else 0.0)
+            try:
+                answer = self._request_once(path, data, headers)
+            except ServiceUnavailable as exc:
+                self.breaker.record_failure()
+                last = exc
+                if attempt >= self.retries:
+                    break
+                time.sleep(self._backoff_s(attempt, exc.retry_after_s))
+                self._rediscover()
+                continue
+            self.breaker.record_success()
+            return answer
+        # Still transient — callers with their own deadline (the wait
+        # loops) may keep going; everyone else sees a ServiceError too.
+        raise ServiceUnavailable(
+            f"{path} failed after {self.retries + 1} attempt(s): {last}",
+            last.retry_after_s if last is not None else None,
+        ) from last
+
+    def _json(
+        self,
+        path: str,
+        body: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict:
         data = (
             json.dumps(body, sort_keys=True).encode()
             if body is not None else None
         )
-        raw, _ = self._request(path, data)
+        raw, _ = self._request(path, data, headers)
         return json.loads(raw.decode())
 
     # ------------------------------------------------------------------
@@ -132,9 +312,18 @@ class ServiceClient:
         return None
 
     def submit(self, config: SystemConfig, apps: Sequence[str]) -> dict:
+        """Submit one job — idempotently.
+
+        The content-addressed key is computed locally and sent as
+        ``X-Idempotency-Key``: the server verifies it against its own
+        derivation (409 on drift), and because the key *is* the job
+        identity, retrying this POST after a connection reset can only
+        land on the same ticket — never enqueue a duplicate.
+        """
         return self._json(
             "/jobs",
             {"config": config_to_dict(config), "apps": list(apps)},
+            headers={"X-Idempotency-Key": job_key(config, tuple(apps))},
         )
 
     def submit_campaign(
@@ -184,10 +373,24 @@ class ServiceClient:
     def wait_job(
         self, key: str, timeout: float = 300.0, poll_s: float = 0.05
     ) -> dict:
-        """Poll until the job reaches a terminal state; returns it."""
+        """Poll until the job reaches a terminal state; returns it.
+
+        A service outage mid-wait (restart, crash, shed) is tolerated
+        for as long as the deadline allows: the poll just keeps going,
+        re-discovering the URL, until the service answers again.
+        """
         deadline = time.monotonic() + timeout
         while True:
-            status = self.result(key)
+            try:
+                status = self.result(key)
+            except ServiceUnavailable as exc:
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"job {key[:16]} unreachable past deadline: {exc}"
+                    ) from exc
+                time.sleep(poll_s)
+                self._rediscover()
+                continue
             if status.get("state") in ("done", "failed"):
                 return status
             if time.monotonic() >= deadline:
@@ -202,7 +405,16 @@ class ServiceClient:
     ) -> dict:
         deadline = time.monotonic() + timeout
         while True:
-            status = self.campaign(cid)
+            try:
+                status = self.campaign(cid)
+            except ServiceUnavailable as exc:
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"campaign {cid} unreachable past deadline: {exc}"
+                    ) from exc
+                time.sleep(poll_s)
+                self._rediscover()
+                continue
             if status.get("complete"):
                 return status
             counts = status.get("counts", {})
@@ -311,9 +523,11 @@ class ServiceRunner(Runner):
 
 __all__ = [
     "SERVER_INFO",
+    "CircuitBreaker",
     "ServiceClient",
     "ServiceError",
     "ServiceRunner",
+    "ServiceUnavailable",
     "discover_url",
     "write_server_info",
 ]

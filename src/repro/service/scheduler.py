@@ -30,6 +30,15 @@ Design:
   resume all come for free, and results are bit-identical to a local
   ``run_many`` of the same job list because they *are* the same code
   path.
+* **Leases supervise the workers** (see
+  :mod:`repro.service.supervision`).  Every job entering a batch is
+  granted a persisted lease; landing in the store is the heartbeat; a
+  :class:`~repro.service.supervision.Supervisor` thread reclaims
+  expired leases, kills the wedged pool workers (hang → broken pool →
+  the same rebuild/retry path a crash takes), and the scheduler
+  requeues reclaimed jobs with their attempt history, bounded by
+  ``max_requeues``.  A worker-thread crash flips :attr:`crashed` so
+  the API degrades to read-only instead of serving stale promises.
 """
 
 from __future__ import annotations
@@ -50,8 +59,17 @@ from repro.experiments.resilience import (
     ResilienceStats,
     RetryPolicy,
 )
+from repro.faults import FaultPlan
 from repro.service.jobs import JobSpec, campaign_id, campaign_jobs
 from repro.service.store import ResultStore
+from repro.service.supervision import (
+    DEFAULT_LEASE_S,
+    Lease,
+    LeaseLog,
+    Supervisor,
+    SupervisionStats,
+    kill_worker_processes,
+)
 from repro.telemetry.manifest import RunManifest, RunRecord
 
 log = logging.getLogger("repro.service.scheduler")
@@ -66,7 +84,10 @@ JOB_STATES = ("queued", "running", "done", "failed")
 class _Job:
     """Scheduler-side state of one deduplicated job."""
 
-    __slots__ = ("spec", "key", "state", "detail", "source", "wall_s")
+    __slots__ = (
+        "spec", "key", "state", "detail", "source", "wall_s",
+        "requeues", "terminal",
+    )
 
     def __init__(self, spec: JobSpec, key: str) -> None:
         self.spec = spec
@@ -75,6 +96,11 @@ class _Job:
         self.detail = ""
         self.source = ""
         self.wall_s = 0.0
+        #: Times this job was reclaimed and put back on the queue.
+        self.requeues = 0
+        #: A terminal failure (budget exhausted) survives --resume; a
+        #: circumstantial one (scheduler crash) re-runs instead.
+        self.terminal = False
 
     def status(self) -> dict:
         doc = {
@@ -87,6 +113,8 @@ class _Job:
             doc["source"] = self.source
         if self.detail:
             doc["detail"] = self.detail
+        if self.requeues:
+            doc["requeues"] = self.requeues
         return doc
 
 
@@ -103,8 +131,24 @@ class CampaignScheduler:
     policy:
         Fault-tolerance policy for the workers (default: fail fast).
     resume:
-        Reload ``service/queue.jsonl`` + ``campaigns.json`` and
-        continue an interrupted deployment instead of starting fresh.
+        Reload ``service/queue.jsonl`` + ``campaigns.json`` +
+        ``leases.jsonl`` and continue an interrupted deployment
+        instead of starting fresh (orphaned leases are reclaimed).
+    lease_s:
+        Heartbeat budget per lease: a batch must land *some* result
+        this often or the supervisor declares it wedged.  Must exceed
+        the slowest legitimate single job.
+    supervise:
+        Run the :class:`~repro.service.supervision.Supervisor` thread
+        alongside the worker.  ``False`` leaves the lease log active
+        but lets tests drive :meth:`Supervisor.tick` manually.
+    max_requeues:
+        How many times a reclaimed/aborted job may re-queue before it
+        is marked failed.
+    fault_plan:
+        Deterministic fault injection for the batches (chaos testing
+        only; also reachable via ``REPRO_FAULT_PLAN`` through the
+        ``repro serve`` CLI).
     """
 
     def __init__(
@@ -113,12 +157,20 @@ class CampaignScheduler:
         workers: int = 1,
         policy: RetryPolicy | None = None,
         resume: bool = False,
+        lease_s: float = DEFAULT_LEASE_S,
+        supervise: bool = True,
+        supervisor_poll_s: float = 0.25,
+        max_requeues: int = 1,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.store = store
         self.workers = workers
         self.policy = policy if policy is not None else RetryPolicy()
+        self.lease_s = lease_s
+        self.max_requeues = max_requeues
+        self.fault_plan = fault_plan
         self.service_dir = store.cache_dir / "service"
         self.service_dir.mkdir(parents=True, exist_ok=True)
         self.queue_path = self.service_dir / "queue.jsonl"
@@ -127,6 +179,13 @@ class CampaignScheduler:
             self.service_dir / "journal.jsonl", resume=resume
         )
         self.stats = ResilienceStats()
+        self.sup_stats = SupervisionStats()
+        self.leases = LeaseLog(
+            self.service_dir / "leases.jsonl",
+            resume=resume,
+            stats=self.sup_stats,
+            has_result=self.store.has,
+        )
         self._cond = threading.Condition(threading.RLock())
         self._jobs: dict[str, _Job] = {}
         self._queue: deque[str] = deque()
@@ -135,6 +194,17 @@ class CampaignScheduler:
         self._memo: dict[tuple, object] = {}
         self._thread: threading.Thread | None = None
         self._stop = False
+        self._crashed = False
+        self.supervisor = Supervisor(
+            leases=self.leases,
+            cond=self._cond,
+            has_result=self.store.has,
+            on_expired=self._on_leases_expired,
+            is_crashed=lambda: self._crashed,
+            on_landed=self._on_lease_landed,
+            poll_s=supervisor_poll_s,
+        )
+        self._supervise = supervise
         #: Completed-batch counter (diagnostics / tests).
         self.batches = 0
         if resume:
@@ -156,6 +226,8 @@ class CampaignScheduler:
 
     def _load(self) -> None:
         enqueued: list[tuple[str, JobSpec]] = []
+        requeues: dict[str, int] = {}
+        shutdown: dict | None = None
         if self.queue_path.exists():
             with open(self.queue_path) as handle:
                 for line in handle:
@@ -164,7 +236,18 @@ class CampaignScheduler:
                         continue
                     try:
                         record = json.loads(line)
-                        if record.get("event") != "enqueue":
+                        event = record.get("event")
+                        if event == "requeue":
+                            requeues[record["key"]] = int(
+                                record.get("requeues", 0)
+                            )
+                            continue
+                        if event == "shutdown":
+                            # Keep the last one; an unclean stop may be
+                            # followed by another stop's record.
+                            shutdown = record
+                            continue
+                        if event != "enqueue":
                             continue
                         spec = JobSpec.from_dict(record["job"])
                     except (KeyError, ValueError):
@@ -172,13 +255,34 @@ class CampaignScheduler:
                         continue
                     enqueued.append((record["key"], spec))
         self._queue_handle = open(self.queue_path, "a")
+        if self.queue_path.exists():
+            # A kill -9 can leave the final line unterminated; appending
+            # straight onto it would corrupt the next record too.
+            tail = self.queue_path.read_bytes()[-1:]
+            if tail not in (b"", b"\n"):
+                self._queue_handle.write("\n")
+                self._queue_handle.flush()
+        failed_at_shutdown: dict[str, str] = {}
+        if shutdown is not None:
+            raw = shutdown.get("failed", {})
+            if isinstance(raw, dict):
+                failed_at_shutdown = {
+                    k: str(v) for k, v in raw.items() if isinstance(k, str)
+                }
         for key, spec in enqueued:
             if key in self._jobs:
                 continue
             job = _Job(spec, key)
+            job.requeues = requeues.get(key, 0)
             self._jobs[key] = job
             if self.store.has(key):
                 self._finish(job, "store")
+            elif key in failed_at_shutdown:
+                # The previous deployment already burned this job's
+                # requeue budget; don't silently re-run it.
+                job.state = "failed"
+                job.detail = failed_at_shutdown[key]
+                job.terminal = True
             else:
                 self._queue.append(key)
         try:
@@ -213,6 +317,8 @@ class CampaignScheduler:
         job.state = "done"
         job.source = source
         job.wall_s = wall_s
+        # No-op if the supervisor already released it on landing.
+        self.leases.release(job.key, "done")
         rid = job.spec.run_id
         if rid not in self._records:
             self._records[rid] = RunRecord.from_run(
@@ -244,6 +350,8 @@ class CampaignScheduler:
                 self._jobs[key] = job
             job.state = "queued"
             job.detail = ""
+            job.terminal = False
+            job.requeues = 0
             self._write_queue_line(
                 {
                     "event": "enqueue",
@@ -330,6 +438,8 @@ class CampaignScheduler:
         extra = {}
         if self.stats.eventful:
             extra["resilience"] = self.stats.as_dict()
+        if self.sup_stats.eventful:
+            extra["supervision"] = self.sup_stats.as_dict()
         return RunManifest(
             records=records,
             workers=self.workers,
@@ -347,6 +457,18 @@ class CampaignScheduler:
     # ------------------------------------------------------------------
     # the worker loop
 
+    def _requeue(self, job: _Job, why: str) -> None:
+        """Put a reclaimed/aborted job back on the queue (caller holds lock)."""
+        job.requeues += 1
+        job.state = "queued"
+        job.detail = why
+        self.leases.release(job.key, "requeued")
+        self.sup_stats.requeues += 1
+        self._write_queue_line(
+            {"event": "requeue", "key": job.key, "requeues": job.requeues}
+        )
+        self._queue.append(job.key)
+
     def _run_batch(self, keys: list[str]) -> None:
         jobs = [
             (self._jobs[key].spec.config, self._jobs[key].spec.apps)
@@ -362,26 +484,55 @@ class CampaignScheduler:
                 policy=self.policy,
                 journal=self.journal,
                 stats=self.stats,
+                fault_plan=self.fault_plan,
             )
         except JobFailureError as exc:
             detail = str(exc)
+            requeued = 0
             with self._cond:
                 for key in keys:
                     job = self._jobs[key]
                     if self.store.has(key):
-                        self._finish(job, "service")
+                        if job.state != "done":
+                            self._finish(job, "service")
+                    elif job.requeues < self.max_requeues:
+                        self._requeue(job, detail)
+                        requeued += 1
                     else:
                         job.state = "failed"
                         job.detail = detail
-            log.warning("batch of %d job(s) aborted: %s", len(keys), detail)
+                        job.terminal = True
+                        self.leases.release(key, "failed")
+                if requeued:
+                    self._cond.notify_all()
+            log.warning(
+                "batch of %d job(s) aborted (%d requeued): %s",
+                len(keys), requeued, detail,
+            )
             return
         wall = time.perf_counter() - start
         per_job = wall / len(keys) if keys else 0.0
         with self._cond:
             for key in keys:
-                self._finish(self._jobs[key], "service", per_job)
+                job = self._jobs[key]
+                if job.state != "done":
+                    self._finish(job, "service", per_job)
 
     def _loop(self) -> None:
+        try:
+            self._loop_inner()
+        except Exception:
+            # Anything escaping the batch handler is a scheduler crash:
+            # flag it so the API degrades to read-only and the
+            # supervisor reclaims every outstanding lease (nothing will
+            # ever land again from this thread).
+            log.exception("scheduler worker thread crashed")
+            with self._cond:
+                self._crashed = True
+                self.sup_stats.scheduler_crashes += 1
+                self._cond.notify_all()
+
+    def _loop_inner(self) -> None:
         while True:
             with self._cond:
                 while not self._queue and not self._stop:
@@ -390,12 +541,90 @@ class CampaignScheduler:
                     return
                 keys = list(self._queue)
                 self._queue.clear()
+                holder = f"batch-{self.batches + 1}"
                 for key in keys:
-                    self._jobs[key].state = "running"
+                    job = self._jobs[key]
+                    job.state = "running"
+                    self.leases.grant(
+                        key,
+                        job.spec.run_id,
+                        holder,
+                        attempt=job.requeues,
+                        lease_s=self.lease_s,
+                    )
             self._run_batch(keys)
             with self._cond:
                 self.batches += 1
                 self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # supervision callbacks (see repro.service.supervision)
+
+    def _on_lease_landed(self, key: str) -> None:
+        """Supervisor saw this job's result land (called under the lock)."""
+        job = self._jobs.get(key)
+        if job is not None and job.state == "running":
+            self._finish(job, "service")
+
+    def _on_leases_expired(self, leases: list[Lease]) -> None:
+        """Expired-lease reclamation: kill wedged workers, requeue jobs."""
+        if self.workers > 1 and not self._crashed:
+            killed = kill_worker_processes()
+            if killed:
+                self.sup_stats.worker_kills += killed
+                log.warning(
+                    "killed %d wedged worker process(es) after lease expiry",
+                    killed,
+                )
+        with self._cond:
+            for lease in leases:
+                job = self._jobs.get(lease.key)
+                if job is None or job.state != "running":
+                    continue
+                if self.store.has(lease.key):
+                    self._finish(job, "service")
+                elif self._crashed or job.requeues >= self.max_requeues:
+                    job.state = "failed"
+                    if self._crashed:
+                        job.detail = "scheduler crashed with the job in flight"
+                    else:
+                        job.detail = (
+                            f"lease expired after {job.requeues} requeue(s)"
+                        )
+                        job.terminal = True
+                else:
+                    # Lease already reclaimed by the supervisor, so only
+                    # the queue bookkeeping is left to do here.
+                    job.requeues += 1
+                    job.state = "queued"
+                    job.detail = "lease expired; requeued"
+                    self.sup_stats.requeues += 1
+                    self._write_queue_line(
+                        {
+                            "event": "requeue",
+                            "key": job.key,
+                            "requeues": job.requeues,
+                        }
+                    )
+                    self._queue.append(job.key)
+            self._cond.notify_all()
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the scheduler can still accept and run work."""
+        return not self._crashed and not self._stop
+
+    def state_counts(self) -> dict[str, int]:
+        """Job-state histogram for health reporting."""
+        with self._cond:
+            counts: dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
 
     def start(self) -> "CampaignScheduler":
         if self._thread is None:
@@ -404,18 +633,62 @@ class CampaignScheduler:
                 target=self._loop, name="repro-scheduler", daemon=True
             )
             self._thread.start()
+            if self._supervise:
+                self.supervisor.start()
         return self
 
     def stop(self, timeout: float | None = 10.0) -> None:
         with self._cond:
             self._stop = True
             self._cond.notify_all()
+        clean = True
         if self._thread is not None:
             self._thread.join(timeout)
-            self._thread = None
-        self.journal.close()
-        if not self._queue_handle.closed:
-            self._queue_handle.close()
+            clean = not self._thread.is_alive()
+            if clean:
+                self._thread = None
+        self.supervisor.stop()
+        with self._cond:
+            # The shutdown record tells the next --resume exactly which
+            # work finished (or terminally failed), so a stop() that
+            # timed out with jobs marked in-flight doesn't cause them
+            # to re-run if their results actually landed.
+            done = sorted(
+                j.key for j in self._jobs.values() if j.state == "done"
+            )
+            failed = {
+                j.key: j.detail
+                for j in sorted(
+                    (
+                        j for j in self._jobs.values()
+                        if j.state == "failed" and j.terminal
+                    ),
+                    key=lambda j: j.key,
+                )
+            }
+            for key in list(self.leases.active()):
+                self.leases.release(key, "shutdown")
+            if clean or done or failed:
+                self._write_queue_line(
+                    {
+                        "event": "shutdown",
+                        "clean": clean,
+                        "done": done,
+                        "failed": failed,
+                    }
+                )
+        if clean:
+            # A wedged worker thread may still be writing; leave the
+            # handles open rather than hand it a closed file.
+            self.journal.close()
+            self.leases.close()
+            if not self._queue_handle.closed:
+                self._queue_handle.close()
+        else:
+            log.warning(
+                "scheduler thread did not stop within %.1fs; "
+                "shutdown record written, handles left open", timeout or 0.0
+            )
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until nothing is queued or running; True on success."""

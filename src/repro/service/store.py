@@ -36,12 +36,17 @@ import json
 import os
 import pickle
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
 from repro.experiments.config import SystemConfig
-from repro.experiments.parallel import CACHE_SCHEMA_VERSION, ResultCache
+from repro.experiments.parallel import (
+    CACHE_SCHEMA_VERSION,
+    STALE_TMP_SECONDS,
+    ResultCache,
+)
 from repro.experiments.runner import MixResult
 
 #: Index document schema version.
@@ -51,6 +56,22 @@ INDEX_SCHEMA = 1
 def payload_digest(data: bytes) -> str:
     """Integrity digest of one stored payload."""
     return hashlib.sha256(data).hexdigest()
+
+
+def job_key(
+    config: SystemConfig,
+    apps: Sequence[str],
+    version: int = CACHE_SCHEMA_VERSION,
+) -> str:
+    """The content-addressed key of one job, without a store instance.
+
+    Exactly :meth:`ResultStore.key_for` (the digest the cache has
+    always used); exposed at module level so the typed client can
+    derive idempotency keys for submits before any store exists on its
+    side of the wire.
+    """
+    raw = (version, config.cache_key(), tuple(apps))
+    return hashlib.sha256(repr(raw).encode()).hexdigest()
 
 
 @dataclass
@@ -310,6 +331,30 @@ class ResultStore(ResultCache):
         stats.stale_tmp = len(sorted(self.cache_dir.glob("*.tmp")))
         return stats
 
+    def integrity(self) -> dict:
+        """Cheap integrity summary for health/readiness reporting.
+
+        Counts only — no hashing, no decoding — so ``/healthz`` can
+        include it on every poll: entries on disk vs. indexed, the
+        quarantine population, and the corrupt-read counter this
+        process has accumulated.  A full :meth:`verify` remains the
+        authoritative (and expensive) check.
+        """
+        with self._lock:
+            indexed = len(self._entries)
+        entries = len(sorted(self.cache_dir.glob("*.pkl")))
+        quarantined = (
+            len(sorted(self.quarantine_dir.iterdir()))
+            if self.quarantine_dir.is_dir()
+            else 0
+        )
+        return {
+            "entries": entries,
+            "indexed": indexed,
+            "quarantined": quarantined,
+            "corrupt_reads": self.corrupt,
+        }
+
     def verify(self) -> VerifyReport:
         """Re-hash every entry against the index; quarantine mismatches."""
         report = VerifyReport()
@@ -381,10 +426,15 @@ class ResultStore(ResultCache):
                     report.quarantined_removed += 1
                 except OSError:  # pragma: no cover - racing unlink
                     pass
+        # Only *stale* temp files are orphans.  A young tmp belongs to
+        # a writer between fsync and os.link; unlinking it under that
+        # writer turns its atomic publish into a FileNotFoundError.
+        now = time.time()  # repro: allow(DET002) file-age housekeeping, not simulation
         for tmp in sorted(self.cache_dir.glob("*.tmp")):
             try:
-                tmp.unlink()
-                report.tmp_removed += 1
+                if now - tmp.stat().st_mtime > STALE_TMP_SECONDS:
+                    tmp.unlink()
+                    report.tmp_removed += 1
             except OSError:  # pragma: no cover - racing unlink
                 pass
         with self._lock:
@@ -404,5 +454,6 @@ __all__ = [
     "ResultStore",
     "StoreStats",
     "VerifyReport",
+    "job_key",
     "payload_digest",
 ]

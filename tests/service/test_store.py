@@ -1,11 +1,13 @@
 """Tests for the content-addressed ResultStore (and the cache CAS fix)."""
 
+import os
 import pickle
 import threading
+import time
 
-from repro.experiments.parallel import ResultCache
+from repro.experiments.parallel import STALE_TMP_SECONDS, ResultCache
 from repro.experiments.runner import run_mix
-from repro.service.store import ResultStore, payload_digest
+from repro.service.store import ResultStore, job_key, payload_digest
 
 
 def _payload(config, apps=("gzip",)):
@@ -184,10 +186,19 @@ class TestMaintenance:
         store.publish(key, _payload(tiny_config))
         store.path_for_key(key).write_bytes(b"junk")
         assert store.get_bytes(key) is None  # quarantines + removes file
-        (tmp_path / "leftover.pkl.123.456.tmp").write_bytes(b"")
+        leftover = tmp_path / "leftover.pkl.123.456.tmp"
+        leftover.write_bytes(b"")
+        # Backdate it: only *stale* tmp files are orphans — a young one
+        # may belong to a writer mid-publish and must be left alone.
+        old = time.time() - 2 * STALE_TMP_SECONDS
+        os.utime(leftover, (old, old))
+        fresh = tmp_path / "inflight.pkl.789.012.tmp"
+        fresh.write_bytes(b"")
         report = store.gc()
         assert report.quarantined_removed == 1
         assert report.tmp_removed == 1
+        assert fresh.exists()  # in-flight writer's tmp survives
+        fresh.unlink()
         assert report.index_pruned == 0  # de-indexed at quarantine time
         assert store.stats().quarantined == 0
 
@@ -198,3 +209,156 @@ class TestMaintenance:
         store.path_for_key(key).unlink()  # vanished outside the store
         assert store.gc().index_pruned == 1
         assert store.index_record(key) is None
+
+
+class TestModuleLevelKey:
+    def test_job_key_matches_store_derivation(self, tiny_config, tmp_path):
+        """The client-side key (no store instance) is the store's key."""
+        store = ResultStore(tmp_path)
+        for apps in (("gzip",), ("mcf", "art")):
+            assert job_key(tiny_config, apps) == store.key_for(
+                tiny_config, apps
+            )
+
+    def test_integrity_summary_is_cheap_and_accurate(
+        self, tiny_config, tmp_path
+    ):
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        store.publish(key, _payload(tiny_config))
+        assert store.integrity() == {
+            "entries": 1, "indexed": 1, "quarantined": 0, "corrupt_reads": 0,
+        }
+        store.path_for_key(key).write_bytes(b"junk")
+        assert store.get_bytes(key) is None
+        summary = store.integrity()
+        assert summary["entries"] == 0 and summary["quarantined"] == 1
+        assert summary["corrupt_reads"] == 1
+
+
+class TestConcurrentMaintenance:
+    """Satellite: verify/gc racing live writers and quarantine collisions."""
+
+    def _payloads(self, tiny_config, n):
+        configs = [
+            tiny_config.with_(instructions_per_thread=300 + 10 * i)
+            for i in range(n)
+        ]
+        return [
+            (job_key(c, ("gzip",)), _payload(c)) for c in configs
+        ]
+
+    def test_verify_under_concurrent_writers(self, tiny_config, tmp_path):
+        """verify() racing publishers must neither crash nor quarantine
+        a good entry; once writers finish, the store verifies clean."""
+        store = ResultStore(tmp_path)
+        jobs = self._payloads(tiny_config, 6)
+        barrier = threading.Barrier(7)
+        errors = []
+
+        def writer(key, data):
+            barrier.wait()
+            try:
+                store.publish(key, data)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        def verifier():
+            barrier.wait()
+            try:
+                for _ in range(5):
+                    report = store.verify()
+                    assert not report.corrupt
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=job) for job in jobs
+        ] + [threading.Thread(target=verifier)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        final = store.verify()
+        assert final.clean and final.ok == len(jobs)
+        for key, data in jobs:
+            assert store.get_bytes(key) == data
+
+    def test_gc_under_concurrent_writers(self, tiny_config, tmp_path):
+        """gc() draining quarantine/tmp while publishers land new
+        entries must not eat a freshly published result."""
+        store = ResultStore(tmp_path)
+        (store.quarantine_dir).mkdir(exist_ok=True)
+        (store.quarantine_dir / "old.pkl").write_bytes(b"junk")
+        jobs = self._payloads(tiny_config, 6)
+        barrier = threading.Barrier(7)
+        errors = []
+
+        def writer(key, data):
+            barrier.wait()
+            try:
+                store.publish(key, data)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        def collector():
+            barrier.wait()
+            try:
+                for _ in range(5):
+                    store.gc()
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=job) for job in jobs
+        ] + [threading.Thread(target=collector)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        store.gc()
+        assert store.stats().quarantined == 0
+        for key, data in jobs:
+            assert store.get_bytes(key) == data
+        assert store.verify().clean
+
+    def test_quarantine_directory_collision(self, tiny_config, tmp_path):
+        """A file squatting on the quarantine *path* must not crash a
+        read of a corrupt entry -- the store degrades to counting the
+        sighting and reporting a miss."""
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        store.publish(key, _payload(tiny_config))
+        store.path_for_key(key).write_bytes(b"flipped bits")
+        store.quarantine_dir.parent.mkdir(exist_ok=True)
+        (tmp_path / "quarantine").write_bytes(b"not a directory")
+        assert store.get_bytes(key) is None  # miss, not an exception
+        assert store.corrupt == 1
+        # The corrupt file stayed put (couldn't be moved), so the next
+        # read pays the check again but still degrades gracefully.
+        assert store.get_bytes(key) is None
+
+    def test_concurrent_quarantine_of_one_entry(self, tiny_config, tmp_path):
+        """Two readers hitting the same corrupt entry race to
+        quarantine it; the loser's os.replace fails and both report a
+        miss."""
+        store = ResultStore(tmp_path)
+        key = store.key_for(tiny_config, ("gzip",))
+        store.publish(key, _payload(tiny_config))
+        store.path_for_key(key).write_bytes(b"flipped bits")
+        barrier = threading.Barrier(4)
+        outcomes = []
+
+        def reader():
+            barrier.wait()
+            outcomes.append(store.get_bytes(key))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes == [None] * 4
+        assert (store.quarantine_dir / f"{key}.pkl").exists()
